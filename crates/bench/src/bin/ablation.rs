@@ -1,0 +1,6 @@
+//! Ablation sweeps: VR slew rate, reset-time, and measurement jitter
+//! vs channel capacity/BER.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    ichannels_bench::figs::ablation::run(quick);
+}

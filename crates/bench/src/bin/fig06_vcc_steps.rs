@@ -1,0 +1,11 @@
+//! Regenerates Figure 6: Vcc steps under multi-core AVX2 (and, with
+//! `--calculix`, the 454.calculix-like trace).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--calculix") {
+        let _ = ichannels_bench::figs::fig06::run_calculix(quick);
+    } else {
+        ichannels_bench::figs::fig06::run(quick);
+    }
+}

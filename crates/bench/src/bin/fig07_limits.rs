@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: Vccmax/Iccmax protection (and, with
+//! `--phases`, only the 3-phase timeline).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--phases") {
+        let _ = ichannels_bench::figs::fig07::run_phases(quick);
+    } else {
+        ichannels_bench::figs::fig07::run(quick);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8: TP distributions and AVX power-gate wake.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    ichannels_bench::figs::fig08::run(quick);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9: fine-grained AVX2 throttling timelines.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    ichannels_bench::figs::fig09::run(quick);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10: multi-level throttling periods.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    ichannels_bench::figs::fig10::run(quick);
+}

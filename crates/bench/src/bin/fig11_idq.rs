@@ -1,0 +1,5 @@
+//! Regenerates Figure 11: IDQ undelivered-uops distributions.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = ichannels_bench::figs::fig11::run(quick);
+}

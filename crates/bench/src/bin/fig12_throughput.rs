@@ -1,0 +1,5 @@
+//! Regenerates Figure 12: channel throughput vs the state of the art.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = ichannels_bench::figs::fig12::run(quick);
+}

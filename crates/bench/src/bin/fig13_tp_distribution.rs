@@ -1,0 +1,5 @@
+//! Regenerates Figure 13: receiver TP distribution per level.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = ichannels_bench::figs::fig13::run(quick);
+}

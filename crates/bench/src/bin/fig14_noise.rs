@@ -1,0 +1,11 @@
+//! Regenerates Figure 14: BER under OS noise and concurrent apps
+//! (`--sevenzip` runs only the §6.3 7-zip experiment).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--sevenzip") {
+        let _ = ichannels_bench::figs::fig14::run_sevenzip(quick);
+    } else {
+        ichannels_bench::figs::fig14::run(quick);
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs every figure/table harness in sequence, writing all CSVs to
+//! `results/` — the one-shot paper reproduction.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("IChannels (ISCA 2021) full reproduction{}", if quick { " (quick mode)" } else { "" });
+    use ichannels_bench::figs;
+    figs::fig06::run(quick);
+    figs::fig07::run(quick);
+    figs::fig08::run(quick);
+    figs::fig09::run(quick);
+    figs::fig10::run(quick);
+    let _ = figs::fig11::run(quick);
+    let _ = figs::fig13::run(quick);
+    figs::fig14::run(quick);
+    let _ = figs::table1::run(quick);
+    let _ = figs::table2::run(quick); // also regenerates Figure 12
+    figs::ablation::run(quick);
+    println!();
+    println!("All artifacts regenerated; CSVs in {}", ichannels_bench::results_dir().display());
+}

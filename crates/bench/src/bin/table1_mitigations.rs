@@ -1,0 +1,5 @@
+//! Regenerates Table 1: mitigation effectiveness and overhead.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = ichannels_bench::figs::table1::run(quick);
+}

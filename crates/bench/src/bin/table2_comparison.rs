@@ -1,0 +1,5 @@
+//! Regenerates Table 2: comparison with NetSpectre and TurboCC.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = ichannels_bench::figs::table2::run(quick);
+}

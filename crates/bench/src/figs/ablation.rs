@@ -1,0 +1,97 @@
+//! Ablation studies over the design parameters DESIGN.md calls out:
+//! what property of the hardware actually gives the channel its
+//! capacity, and which knob a defender would want to turn.
+//!
+//! * **VR slew rate** — faster ramps compress the TP levels toward the
+//!   noise floor (the quantitative version of the §7 LDO argument).
+//! * **Reset-time (hysteresis)** — directly sets the transaction period
+//!   and hence the throughput ceiling.
+//! * **Receiver measurement jitter** — how much timing noise the 4-level
+//!   decoding tolerates.
+
+use ichannels::ber::evaluate;
+use ichannels::channel::{ChannelConfig, ChannelKind, IChannel};
+use ichannels_meter::export::CsvTable;
+use ichannels_uarch::time::SimTime;
+
+use crate::{banner, write_csv};
+
+/// Sweeps the VR slew rate; returns `(slew_mv_per_us, capacity_bps, ber)`.
+pub fn run_slew_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
+    banner("Ablation: VR slew rate vs channel capacity (IccThreadCovert)");
+    let n = if quick { 30 } else { 80 };
+    let mut rows = Vec::new();
+    let mut csv = CsvTable::new(["slew_mv_per_us", "capacity_bps", "ber"]);
+    for slew in [1.2, 2.4, 4.8, 9.6, 19.2, 80.0] {
+        let mut cfg = ChannelConfig::default_cannon_lake();
+        cfg.soc.platform.vr_model.slew_mv_per_us = slew;
+        let ch = IChannel::new(ChannelKind::Thread, cfg);
+        let cal = ch.calibrate(3);
+        let ev = evaluate(&ch, &cal, n, 0x51E);
+        println!(
+            "  slew {slew:>5.1} mV/µs → capacity {:>7.0} b/s, BER {:.3}, min separation {:>6.0} cycles",
+            ev.capacity_bps,
+            ev.ber,
+            cal.min_separation_cycles()
+        );
+        csv.push_floats([slew, ev.capacity_bps, ev.ber]);
+        rows.push((slew, ev.capacity_bps, ev.ber));
+    }
+    println!("  (faster regulators compress the levels: the §7 LDO mitigation, quantified)");
+    write_csv(&csv, "ablation_slew.csv");
+    rows
+}
+
+/// Sweeps the license hysteresis (reset-time); returns
+/// `(reset_us, throughput_bps, ber)`.
+pub fn run_reset_time_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
+    banner("Ablation: reset-time vs throughput (the transaction-period floor)");
+    let n = if quick { 20 } else { 60 };
+    let mut rows = Vec::new();
+    let mut csv = CsvTable::new(["reset_time_us", "throughput_bps", "ber"]);
+    for reset_us in [150.0, 325.0, 650.0, 1_300.0] {
+        let mut cfg = ChannelConfig::default_cannon_lake();
+        cfg.soc.platform.reset_time = SimTime::from_us(reset_us);
+        // The protocol adapts: slot = reset-time + 40 µs transaction.
+        cfg.slot_period = SimTime::from_us(reset_us + 40.0);
+        let ch = IChannel::new(ChannelKind::Thread, cfg);
+        let cal = ch.calibrate(3);
+        let ev = evaluate(&ch, &cal, n, 0x7E5);
+        println!(
+            "  reset {reset_us:>6.0} µs → throughput {:>7.0} b/s, BER {:.3}",
+            ev.throughput_bps, ev.ber
+        );
+        csv.push_floats([reset_us, ev.throughput_bps, ev.ber]);
+        rows.push((reset_us, ev.throughput_bps, ev.ber));
+    }
+    println!("  (a processor with a shorter hysteresis would leak *faster*)");
+    write_csv(&csv, "ablation_reset_time.csv");
+    rows
+}
+
+/// Sweeps receiver measurement jitter; returns `(sigma_ns, ber)`.
+pub fn run_jitter_sweep(quick: bool) -> Vec<(f64, f64)> {
+    banner("Ablation: receiver timing jitter vs BER");
+    let n = if quick { 30 } else { 100 };
+    let mut rows = Vec::new();
+    let mut csv = CsvTable::new(["jitter_sigma_ns", "ber"]);
+    for sigma_ns in [0.0, 150.0, 400.0, 800.0, 1_600.0] {
+        let mut cfg = ChannelConfig::default_cannon_lake();
+        cfg.measurement_jitter = SimTime::from_ns(sigma_ns);
+        let ch = IChannel::new(ChannelKind::Thread, cfg);
+        let cal = ch.calibrate(3);
+        let ev = evaluate(&ch, &cal, n, 0x717);
+        println!("  σ = {sigma_ns:>6.0} ns → BER {:.3}", ev.ber);
+        csv.push_floats([sigma_ns, ev.ber]);
+        rows.push((sigma_ns, ev.ber));
+    }
+    write_csv(&csv, "ablation_jitter.csv");
+    rows
+}
+
+/// Runs all ablations.
+pub fn run(quick: bool) {
+    let _ = run_slew_sweep(quick);
+    let _ = run_reset_time_sweep(quick);
+    let _ = run_jitter_sweep(quick);
+}

@@ -1,0 +1,136 @@
+//! Figure 6 — supply-voltage steps as cores start/stop AVX2 at a fixed
+//! (sub-nominal) 2 GHz on Coffee Lake.
+//!
+//! Expected shape (paper §5.2): when core 1 starts AVX2 the package Vcc
+//! rises by a one-core guardband step; when core 0 joins, by a second
+//! comparable step; the steps reverse when the cores stop; and the clock
+//! frequency never moves. `--calculix` runs the 454.calculix-like phase
+//! trace instead (Figure 6(b)).
+
+use ichannels_meter::export::CsvTable;
+use ichannels_soc::config::{PlatformSpec, SocConfig};
+use ichannels_soc::sim::Soc;
+use ichannels_uarch::time::{Freq, SimTime};
+use ichannels_workload::phases::{Phase, PhaseProgram};
+use ichannels_uarch::isa::InstClass;
+
+use crate::{banner, write_csv};
+
+/// Runs the Figure 6(a) experiment; returns (series CSV, step summary).
+pub fn run_avx2_steps(quick: bool) -> (CsvTable, Vec<(String, f64)>) {
+    banner("Figure 6(a): Vcc steps under staggered multi-core AVX2 @ 2 GHz");
+    let scale = if quick { 0.1 } else { 1.0 };
+    let t = |s: f64| SimTime::from_secs(s * scale);
+    let cfg = SocConfig::pinned(PlatformSpec::coffee_lake(), Freq::from_ghz(2.0))
+        .with_trace(SimTime::from_us(500.0 * scale.max(0.05)));
+    let mut soc = Soc::new(cfg);
+    let v0 = soc.vcc_mv();
+    let block = 100_000;
+    // Core 1: scalar until 0.4 s, AVX2 0.4–2.0 s, scalar after.
+    soc.spawn(
+        1,
+        0,
+        Box::new(PhaseProgram::new(
+            vec![
+                Phase::busy(InstClass::Scalar64, t(0.4)),
+                Phase::busy(InstClass::Heavy256, t(1.6)),
+                Phase::busy(InstClass::Scalar64, t(0.4)),
+            ],
+            block,
+        )),
+    );
+    // Core 0: scalar until 0.8 s, AVX2 0.8–2.1 s, scalar after.
+    soc.spawn(
+        0,
+        0,
+        Box::new(PhaseProgram::new(
+            vec![
+                Phase::busy(InstClass::Scalar64, t(0.8)),
+                Phase::busy(InstClass::Heavy256, t(1.3)),
+                Phase::busy(InstClass::Scalar64, t(0.3)),
+            ],
+            block,
+        )),
+    );
+    soc.run_until(t(2.5));
+
+    let trace = soc.trace();
+    let mut csv = CsvTable::new(["time_s", "vcc_delta_mv", "freq_ghz"]);
+    for s in trace.samples() {
+        csv.push_floats([s.time.as_secs(), s.vcc_mv - v0, s.freq.as_ghz()]);
+    }
+
+    // Quantify the steps at the four transition points.
+    let probe = |sec: f64| -> f64 {
+        trace
+            .samples()
+            .iter()
+            .filter(|s| s.time <= t(sec))
+            .last()
+            .map(|s| s.vcc_mv - v0)
+            .unwrap_or(0.0)
+    };
+    let steps = vec![
+        ("baseline".to_string(), probe(0.35)),
+        ("core1 AVX2 (+1 step)".to_string(), probe(0.75)),
+        ("core0+core1 AVX2 (+2 steps)".to_string(), probe(1.9)),
+        ("core0 only".to_string(), probe(2.05)),
+        ("back to baseline".to_string(), probe(2.45)),
+    ];
+    println!("  {:<30} {:>12}", "phase", "Vcc delta (mV)");
+    for (name, v) in &steps {
+        println!("  {name:<30} {v:>12.2}");
+    }
+    let freqs = trace.freq_series();
+    let fmin = freqs.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min);
+    let fmax = freqs.iter().map(|(_, f)| *f).fold(0.0, f64::max);
+    println!("  frequency range: {fmin:.2}–{fmax:.2} GHz (paper: flat)");
+    // Automatic step detection over the Vcc series.
+    let series: ichannels_meter::series::Series =
+        trace.vcc_series().into_iter().collect();
+    let detected = series.detect_steps(8, 3.0);
+    println!("  detected {} voltage steps:", detected.len());
+    for st in &detected {
+        println!(
+            "    t = {:>6.3} s: {:+.1} mV ({:.1} → {:.1})",
+            st.time_s,
+            st.amplitude(),
+            st.before,
+            st.after
+        );
+    }
+    write_csv(&csv, "fig06a_vcc_steps.csv");
+    (csv, steps)
+}
+
+/// Runs the Figure 6(b) calculix-like experiment; returns the series.
+pub fn run_calculix(quick: bool) -> CsvTable {
+    banner("Figure 6(b): Vcc tracking 454.calculix-like AVX2 phases");
+    let total = if quick {
+        SimTime::from_secs(0.3)
+    } else {
+        SimTime::from_secs(2.0)
+    };
+    let cfg = SocConfig::pinned(PlatformSpec::coffee_lake(), Freq::from_ghz(2.0))
+        .with_trace(SimTime::from_ms(1.0));
+    let mut soc = Soc::new(cfg);
+    let v0 = soc.vcc_mv();
+    soc.spawn(0, 0, Box::new(PhaseProgram::calculix_like(total, 100_000)));
+    soc.spawn(1, 0, Box::new(PhaseProgram::calculix_like(total, 100_000)));
+    soc.run_until(total + SimTime::from_ms(10.0));
+    let trace = soc.trace();
+    let mut csv = CsvTable::new(["time_s", "vcc_delta_mv", "freq_ghz"]);
+    for s in trace.samples() {
+        csv.push_floats([s.time.as_secs(), s.vcc_mv - v0, s.freq.as_ghz()]);
+    }
+    let vmax = trace.vcc_max().unwrap_or(v0) - v0;
+    println!("  peak Vcc delta: {vmax:.2} mV over {} samples", trace.len());
+    write_csv(&csv, "fig06b_calculix.csv");
+    csv
+}
+
+/// Runs both Figure 6 experiments.
+pub fn run(quick: bool) {
+    let _ = run_avx2_steps(quick);
+    let _ = run_calculix(quick);
+}

@@ -1,0 +1,213 @@
+//! Figure 7 — maximum Icc/Vcc limit protection (paper §5.3).
+//!
+//! (a) Projected operating points: on the desktop part, AVX2 at 4.9 GHz
+//! exceeds **Vccmax** while staying under Iccmax; on the mobile part,
+//! AVX2 at 3.1 GHz exceeds **Iccmax** while staying under Vccmax. One
+//! P-state down, both fit.
+//!
+//! (b) Running Non-AVX → AVX2 → AVX512 phases at the performance
+//! governor: the frequency steps down per phase, Icc stays below Iccmax,
+//! and the junction temperature stays far below Tjmax (Key Conclusion 2:
+//! this is current management, not thermal management).
+
+use ichannels_meter::export::CsvTable;
+use ichannels_pdn::current::CoreActivity;
+use ichannels_soc::config::{PlatformSpec, SocConfig};
+use ichannels_soc::sim::Soc;
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::{Freq, SimTime};
+use ichannels_workload::phases::PhaseProgram;
+
+use crate::{banner, write_csv};
+
+/// One projected operating point for Figure 7(a).
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    /// System label.
+    pub system: String,
+    /// Core frequency.
+    pub freq: Freq,
+    /// Workload label (`Non-AVX` / `AVX2`).
+    pub workload: String,
+    /// Projected VR output voltage (mV) incl. guardband.
+    pub vcc_mv: f64,
+    /// Projected package current (A).
+    pub icc_a: f64,
+    /// Violated limit, if any.
+    pub violation: Option<String>,
+}
+
+/// Computes the projected (unprotected) operating point — the paper's
+/// green-bordered bars.
+fn project(
+    platform: &PlatformSpec,
+    freq: Freq,
+    class: InstClass,
+    active_cores: usize,
+    system: &str,
+    workload: &str,
+) -> OperatingPoint {
+    let base = platform.vf_curve.voltage_mv(freq);
+    let classes: Vec<Option<InstClass>> = (0..platform.n_cores)
+        .map(|i| if i < active_cores { Some(class) } else { None })
+        .collect();
+    let vcc = base + platform.guardband().package_guardband_mv(&classes, base, freq);
+    let acts: Vec<CoreActivity> = (0..platform.n_cores)
+        .map(|i| {
+            if i < active_cores {
+                CoreActivity::busy(class)
+            } else {
+                CoreActivity::IDLE
+            }
+        })
+        .collect();
+    let icc = platform.current_model().icc_a(&acts, vcc, freq, 60.0);
+    OperatingPoint {
+        system: system.to_string(),
+        freq,
+        workload: workload.to_string(),
+        vcc_mv: vcc,
+        icc_a: icc,
+        violation: platform.limits.check(vcc, icc).map(|v| v.to_string()),
+    }
+}
+
+/// Runs Figure 7(a); returns the operating-point table.
+pub fn run_limits(_quick: bool) -> Vec<OperatingPoint> {
+    banner("Figure 7(a): Vccmax/Iccmax protection — projected operating points");
+    let desktop = PlatformSpec::coffee_lake();
+    let mobile = PlatformSpec::cannon_lake();
+    let mut rows = Vec::new();
+    for (freq, label) in [(4.9, "4.9GHz"), (4.8, "4.8GHz")] {
+        for (class, wl) in [
+            (InstClass::Scalar64, "Non-AVX"),
+            (InstClass::Heavy256, "AVX2"),
+        ] {
+            rows.push(project(
+                &desktop,
+                Freq::from_ghz(freq),
+                class,
+                1,
+                &format!("Desktop i7-9700K {label}"),
+                wl,
+            ));
+        }
+    }
+    for (freq, label) in [(3.1, "3.1GHz"), (2.2, "2.2GHz")] {
+        for (class, wl) in [
+            (InstClass::Scalar64, "Non-AVX"),
+            (InstClass::Heavy256, "AVX2"),
+        ] {
+            rows.push(project(
+                &mobile,
+                Freq::from_ghz(freq),
+                class,
+                2,
+                &format!("Mobile i3-8121U {label}"),
+                wl,
+            ));
+        }
+    }
+    let mut csv = CsvTable::new(["system", "workload", "freq_ghz", "vcc_mv", "icc_a", "violation"]);
+    println!(
+        "  {:<26} {:<8} {:>9} {:>9} {:>9}  {}",
+        "system", "workload", "freq", "Vcc(mV)", "Icc(A)", "violation"
+    );
+    for r in &rows {
+        println!(
+            "  {:<26} {:<8} {:>9} {:>9.1} {:>9.1}  {}",
+            r.system,
+            r.workload,
+            format!("{}", r.freq),
+            r.vcc_mv,
+            r.icc_a,
+            r.violation.as_deref().unwrap_or("-")
+        );
+        csv.push_row([
+            r.system.clone(),
+            r.workload.clone(),
+            format!("{:.2}", r.freq.as_ghz()),
+            format!("{:.2}", r.vcc_mv),
+            format!("{:.2}", r.icc_a),
+            r.violation.clone().unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    write_csv(&csv, "fig07a_limits.csv");
+    rows
+}
+
+/// Phase summary row for Figure 7(b).
+#[derive(Debug, Clone)]
+pub struct PhasePoint {
+    /// Phase label.
+    pub phase: String,
+    /// Sustained frequency (GHz) at the phase midpoint.
+    pub freq_ghz: f64,
+    /// Package current (A) at the midpoint.
+    pub icc_a: f64,
+    /// Junction temperature (°C) at the midpoint.
+    pub temp_c: f64,
+}
+
+/// Runs Figure 7(b); returns per-phase midpoint summaries.
+pub fn run_phases(quick: bool) -> Vec<PhasePoint> {
+    banner("Figure 7(b): Non-AVX → AVX2 → AVX512 at the performance governor (mobile)");
+    // Long phases (2 s each in full mode) let the RC thermal model show
+    // the paper's 58–62 °C band — and that it never approaches Tjmax.
+    let per_phase = if quick {
+        SimTime::from_ms(8.0)
+    } else {
+        SimTime::from_secs(2.0)
+    };
+    let cfg = SocConfig::quiet(PlatformSpec::cannon_lake()).with_trace(per_phase.scale(0.02));
+    let mut soc = Soc::new(cfg);
+    for core in 0..2 {
+        soc.spawn(core, 0, Box::new(PhaseProgram::three_phase(per_phase, 20_000)));
+    }
+    soc.run_until(per_phase.scale(3.2));
+    let trace = soc.trace();
+    let mut csv = CsvTable::new(["time_s", "freq_ghz", "vcc_mv", "icc_a", "temp_c"]);
+    for s in trace.samples() {
+        csv.push_floats([s.time.as_secs(), s.freq.as_ghz(), s.vcc_mv, s.icc_a, s.temp_c]);
+    }
+    write_csv(&csv, "fig07b_phases.csv");
+
+    let mid = |k: f64| per_phase.scale(k);
+    let probe = |t: SimTime| {
+        trace
+            .samples()
+            .iter()
+            .filter(|s| s.time <= t)
+            .last()
+            .cloned()
+    };
+    let mut rows = Vec::new();
+    for (k, label) in [(0.5, "Non-AVX"), (1.5, "AVX2"), (2.5, "AVX512")] {
+        if let Some(s) = probe(mid(k)) {
+            rows.push(PhasePoint {
+                phase: label.to_string(),
+                freq_ghz: s.freq.as_ghz(),
+                icc_a: s.icc_a,
+                temp_c: s.temp_c,
+            });
+        }
+    }
+    let iccmax = PlatformSpec::cannon_lake().limits.iccmax_a();
+    println!(
+        "  {:<9} {:>9} {:>9} {:>9}   (Iccmax = {iccmax} A, Tjmax = 100 C)",
+        "phase", "freq", "Icc(A)", "Tj(C)"
+    );
+    for r in &rows {
+        println!(
+            "  {:<9} {:>8.2}G {:>9.1} {:>9.1}",
+            r.phase, r.freq_ghz, r.icc_a, r.temp_c
+        );
+    }
+    rows
+}
+
+/// Runs both parts of Figure 7.
+pub fn run(quick: bool) {
+    let _ = run_limits(quick);
+    let _ = run_phases(quick);
+}

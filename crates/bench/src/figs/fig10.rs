@@ -1,0 +1,105 @@
+//! Figure 10 — multi-level throttling periods (paper §5.5).
+//!
+//! (a) TP of each of the seven instruction classes at 1.0/1.2/1.4 GHz on
+//! one and two Cannon Lake cores: the TP grows with intensity, with
+//! frequency, and with the number of PHI cores (Key Conclusion 4).
+//!
+//! (b) TP of a 512b-Heavy loop preceded by each class at 1.4 GHz: the
+//! lighter the preceding class, the longer the remaining ramp — at least
+//! five distinct levels (L1–L5).
+
+use ichannels_meter::export::CsvTable;
+use ichannels_meter::stats::distinct_levels;
+use ichannels_soc::config::{PlatformSpec, SocConfig};
+use ichannels_soc::sim::Soc;
+use ichannels_uarch::ipc::nominal_ipc;
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::{Freq, SimTime};
+use ichannels_workload::loops::{instructions_for_duration, PrecededLoop, Recorder};
+
+use crate::figs::{inflation_to_tp_us, measure_tp_us};
+use crate::{banner, write_csv};
+
+/// Runs Figure 10(a): TP per class × frequency × core count.
+/// Returns `(class, freq_ghz, cores, tp_us)` rows.
+pub fn run_sweep(_quick: bool) -> Vec<(InstClass, f64, usize, f64)> {
+    banner("Figure 10(a): throttling period vs class, frequency, core count");
+    let platform = PlatformSpec::cannon_lake();
+    let mut rows = Vec::new();
+    let mut csv = CsvTable::new(["class", "freq_ghz", "cores", "tp_us"]);
+    println!(
+        "  {:<12} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
+        "class", "1.0GHz", "1.2GHz", "1.4GHz", "1.0GHz", "1.2GHz", "1.4GHz"
+    );
+    println!(
+        "  {:<12} {:-^26}   {:-^26}",
+        "", " 1 core ", " 2 cores "
+    );
+    for class in InstClass::ALL {
+        let mut line = format!("  {:<12}", class.to_string());
+        for cores in [1usize, 2] {
+            for ghz in [1.0, 1.2, 1.4] {
+                let tp = measure_tp_us(&platform, Freq::from_ghz(ghz), class, cores);
+                rows.push((class, ghz, cores, tp));
+                csv.push_row([
+                    class.to_string(),
+                    format!("{ghz}"),
+                    cores.to_string(),
+                    format!("{tp:.3}"),
+                ]);
+                line.push_str(&format!(" {tp:>8.2}"));
+            }
+            line.push_str("  ");
+        }
+        println!("{line}");
+    }
+    write_csv(&csv, "fig10a_tp_sweep.csv");
+    rows
+}
+
+/// Runs Figure 10(b): TP of 512b-Heavy after each preceding class.
+/// Returns `(preceding_class, tp_us)` pairs.
+pub fn run_preceded(_quick: bool) -> Vec<(InstClass, f64)> {
+    banner("Figure 10(b): 512b-Heavy TP vs preceding instruction class (1.4 GHz)");
+    let platform = PlatformSpec::cannon_lake();
+    let freq = Freq::from_ghz(1.4);
+    let main_insts = instructions_for_duration(InstClass::Heavy512, freq, SimTime::from_us(60.0));
+    let prev_insts = instructions_for_duration(InstClass::Heavy256, freq, SimTime::from_us(15.0));
+    let base_us =
+        main_insts as f64 / nominal_ipc(InstClass::Heavy512) / freq.as_hz() as f64 * 1e6;
+    let mut rows = Vec::new();
+    let mut csv = CsvTable::new(["preceding_class", "tp_us"]);
+    for prev in InstClass::ALL {
+        let cfg = SocConfig::pinned(platform.clone(), freq);
+        let mut soc = Soc::new(cfg);
+        let rec = Recorder::new();
+        soc.spawn(
+            0,
+            0,
+            Box::new(PrecededLoop::new(
+                prev,
+                prev_insts,
+                InstClass::Heavy512,
+                main_insts,
+                SimTime::from_us(30.0),
+                rec.clone(),
+            )),
+        );
+        soc.run_until_idle(SimTime::from_ms(5.0));
+        let tp = inflation_to_tp_us(rec.durations_us(soc.tsc())[0], base_us);
+        println!("  preceded by {:<12} → TP = {tp:>6.2} µs", prev.to_string());
+        csv.push_row([prev.to_string(), format!("{tp:.3}")]);
+        rows.push((prev, tp));
+    }
+    let tps: Vec<f64> = rows.iter().map(|(_, t)| *t).collect();
+    let levels = distinct_levels(&tps, 0.5);
+    println!("  distinct throttling levels (0.5 µs tolerance): {levels} (paper: ≥5)");
+    write_csv(&csv, "fig10b_preceded.csv");
+    rows
+}
+
+/// Runs both parts of Figure 10.
+pub fn run(quick: bool) {
+    let _ = run_sweep(quick);
+    let _ = run_preceded(quick);
+}

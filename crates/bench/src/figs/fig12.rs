@@ -1,0 +1,127 @@
+//! Figure 12 — covert-channel throughput vs the state of the art
+//! (paper §6.2).
+//!
+//! (a) IccThreadCovert transmits **two** bits per reset-time cycle where
+//! NetSpectre's single-level gadget transmits one ⇒ 2× throughput.
+//! (b) IccSMTcovert/IccCoresCovert (~2.9 kb/s) vs DFScovert (~20 b/s),
+//! TurboCC (~61 b/s), POWERT (~122 b/s): 145×/47×/24×.
+
+use ichannels::baselines::dfscovert::DfsCovertChannel;
+use ichannels::baselines::netspectre::NetSpectreChannel;
+use ichannels::baselines::powert::PowerTChannel;
+use ichannels::baselines::turbocc::TurboCcChannel;
+use ichannels::ber::evaluate;
+use ichannels::channel::IChannel;
+use ichannels_meter::export::CsvTable;
+
+use crate::{banner, write_csv};
+
+/// Measured throughput of one channel.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    /// Channel name.
+    pub name: String,
+    /// Bits per second (error-free transmission measured).
+    pub bps: f64,
+    /// Measured bit error rate during the run.
+    pub ber: f64,
+}
+
+/// Runs both panels; returns all measured throughputs.
+pub fn run(quick: bool) -> Vec<Throughput> {
+    banner("Figure 12: channel throughput vs state of the art");
+    let n = if quick { 12 } else { 40 };
+    let mut out = Vec::new();
+
+    // (a) IccThreadCovert vs NetSpectre.
+    let icc_thread = IChannel::icc_thread_covert();
+    let cal = icc_thread.calibrate(3);
+    let ev = evaluate(&icc_thread, &cal, n, 42);
+    out.push(Throughput {
+        name: "IccThreadCovert".into(),
+        bps: ev.throughput_bps,
+        ber: ev.ber,
+    });
+
+    let ns = NetSpectreChannel::default_cannon_lake();
+    let ns_cal = ns.calibrate(3);
+    let ns_bits: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+    let ns_tx = ns.transmit(&ns_bits, ns_cal);
+    out.push(Throughput {
+        name: "NetSpectre".into(),
+        bps: ns_tx.throughput_bps,
+        ber: ns_tx.bit_error_rate(),
+    });
+
+    // (b) IccSMTcovert / IccCoresCovert vs DFScovert / TurboCC / POWERT.
+    for (label, ch) in [
+        ("IccSMTcovert", IChannel::icc_smt_covert()),
+        ("IccCoresCovert", IChannel::icc_cores_covert()),
+    ] {
+        let cal = ch.calibrate(3);
+        let ev = evaluate(&ch, &cal, n, 43);
+        out.push(Throughput {
+            name: label.into(),
+            bps: ev.throughput_bps,
+            ber: ev.ber,
+        });
+    }
+
+    let dfs = DfsCovertChannel::default();
+    let bits: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+    let (dec, bps) = dfs.transmit(&bits);
+    let ber = bits.iter().zip(&dec).filter(|(a, b)| a != b).count() as f64 / bits.len() as f64;
+    out.push(Throughput {
+        name: "DFScovert".into(),
+        bps,
+        ber,
+    });
+
+    let turbo = TurboCcChannel::default();
+    let t_cal = turbo.calibrate(2);
+    let t_bits = [true, false, true, true, false];
+    let t_tx = turbo.transmit(&t_bits, t_cal);
+    out.push(Throughput {
+        name: "TurboCC".into(),
+        bps: t_tx.throughput_bps,
+        ber: t_tx.bit_error_rate(),
+    });
+
+    let pt = PowerTChannel::default();
+    let (dec, bps) = pt.transmit(&bits);
+    let ber = bits.iter().zip(&dec).filter(|(a, b)| a != b).count() as f64 / bits.len() as f64;
+    out.push(Throughput {
+        name: "POWERT".into(),
+        bps,
+        ber,
+    });
+
+    // Report.
+    let find = |n: &str| out.iter().find(|t| t.name == n).expect("present");
+    let icc = find("IccSMTcovert").bps;
+    println!("  {:<16} {:>12} {:>8} {:>10}", "channel", "bits/s", "BER", "IChannels×");
+    let mut csv = CsvTable::new(["channel", "bps", "ber", "ichannels_ratio"]);
+    for t in &out {
+        let ratio = icc / t.bps;
+        println!(
+            "  {:<16} {:>12.1} {:>8.3} {:>9.1}x",
+            t.name, t.bps, t.ber, ratio
+        );
+        csv.push_row([
+            t.name.clone(),
+            format!("{:.2}", t.bps),
+            format!("{:.4}", t.ber),
+            format!("{ratio:.1}"),
+        ]);
+    }
+    let ns_ratio = find("IccThreadCovert").bps / find("NetSpectre").bps;
+    println!("  IccThreadCovert / NetSpectre = {ns_ratio:.2}x (paper: 2x)");
+    println!(
+        "  IccSMT / DFScovert = {:.0}x, / TurboCC = {:.0}x, / POWERT = {:.0}x (paper: 145x/47x/24x)",
+        icc / find("DFScovert").bps,
+        icc / find("TurboCC").bps,
+        icc / find("POWERT").bps
+    );
+    write_csv(&csv, "fig12_throughput.csv");
+    out
+}

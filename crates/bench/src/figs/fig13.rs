@@ -1,0 +1,73 @@
+//! Figure 13 — distribution of the receiver's throttling-period
+//! measurement for each of the four levels on a low-noise system
+//! (paper §6.3).
+//!
+//! Expected shape: four non-overlapping clusters (L1..L4) separated by
+//! more than 2 000 TSC cycles ⇒ near-zero error rate.
+
+use ichannels::channel::IChannel;
+use ichannels::symbols::Symbol;
+use ichannels_meter::export::CsvTable;
+use ichannels_meter::stats::summarize;
+use ichannels_soc::noise::NoiseConfig;
+
+use crate::{banner, write_csv};
+
+/// Per-level cluster summary.
+#[derive(Debug, Clone)]
+pub struct LevelCluster {
+    /// The level (paper labels L4..L1 = symbols 00..11).
+    pub symbol: Symbol,
+    /// Mean receiver duration (TSC cycles).
+    pub mean_cycles: f64,
+    /// Standard deviation (cycles).
+    pub std_cycles: f64,
+}
+
+/// Runs the Figure 13 experiment; returns the four clusters and the
+/// minimum separation.
+pub fn run(quick: bool) -> (Vec<LevelCluster>, f64) {
+    banner("Figure 13: receiver TP distribution per level (low-noise system)");
+    let reps = if quick { 10 } else { 100 };
+    let mut ch = IChannel::icc_thread_covert();
+    // "relatively low noise (interrupt and context-switch rates below
+    // 1000 events per second) while other non-AVX applications run".
+    ch.config_mut().soc = ch.config().soc.clone().with_noise(NoiseConfig::low());
+    let mut csv = CsvTable::new(["level", "bits", "duration_cycles"]);
+    let mut clusters = Vec::new();
+    for s in Symbol::ALL {
+        let durations = ch.run_symbols(&vec![s; reps]);
+        for d in &durations {
+            csv.push_row([
+                format!("L{}", 4 - s.value()),
+                s.to_string(),
+                d.to_string(),
+            ]);
+        }
+        let vals: Vec<f64> = durations.iter().map(|&d| d as f64).collect();
+        let sum = summarize(&vals);
+        println!(
+            "  L{} (bits {}): {:>8.0} ± {:>5.0} cycles  [{:.0}, {:.0}]",
+            4 - s.value(),
+            s,
+            sum.mean,
+            sum.std_dev,
+            sum.min,
+            sum.max
+        );
+        clusters.push(LevelCluster {
+            symbol: s,
+            mean_cycles: sum.mean,
+            std_cycles: sum.std_dev,
+        });
+    }
+    let mut means: Vec<f64> = clusters.iter().map(|c| c.mean_cycles).collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let min_sep = means
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::INFINITY, f64::min);
+    println!("  minimum level separation: {min_sep:.0} cycles (paper: > 2000)");
+    write_csv(&csv, "fig13_tp_distribution.csv");
+    (clusters, min_sep)
+}

@@ -1,0 +1,175 @@
+//! Figure 14 — channel accuracy under system noise (paper §6.3).
+//!
+//! (a) BER vs interrupt/context-switch rate: low even at thousands of
+//! events per second, because a hit must land in the µs-scale decode
+//! window. (b) 4×4 error matrix: a concurrent app's PHI corrupts a
+//! transaction only when its level exceeds the channel's. (c) BER vs
+//! App-PHI injection rate: grows with rate. Plus the 7-zip experiment:
+//! BER < 0.07 with a real AVX2 app for 60 s.
+
+use ichannels::ber::{evaluate_with, random_symbols};
+use ichannels::channel::IChannel;
+use ichannels::symbols::Symbol;
+use ichannels_meter::export::CsvTable;
+use ichannels_meter::stats::ConfusionMatrix;
+use ichannels_soc::noise::NoiseConfig;
+use ichannels_uarch::isa::InstClass;
+use ichannels_workload::apps::{RandomPhiApp, SevenZipApp};
+
+use crate::{banner, write_csv};
+
+fn channel_with_noise(noise: NoiseConfig) -> IChannel {
+    let mut ch = IChannel::icc_thread_covert();
+    ch.config_mut().soc = ch.config().soc.clone().with_noise(noise);
+    ch
+}
+
+/// Runs Figure 14(a): BER vs OS-event rate. Returns
+/// `(kind, rate, ber)` rows.
+pub fn run_event_noise(quick: bool) -> Vec<(String, f64, f64)> {
+    banner("Figure 14(a): BER vs interrupt / context-switch rate");
+    let n = if quick { 40 } else { 250 };
+    let rates = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+    let mut rows = Vec::new();
+    let mut csv = CsvTable::new(["event_kind", "events_per_second", "ber"]);
+    for (label, mk) in [
+        (
+            "interrupts",
+            NoiseConfig::interrupts_only as fn(f64) -> NoiseConfig,
+        ),
+        ("context_switches", NoiseConfig::ctx_switches_only),
+    ] {
+        print!("  {label:<18}");
+        for rate in rates {
+            let ch = channel_with_noise(mk(rate));
+            let cal = ch.calibrate(3);
+            let ev = ichannels::ber::evaluate(&ch, &cal, n, 1234);
+            print!("  {rate:>7.0}/s: {:.3}", ev.ber);
+            csv.push_row([label.to_string(), format!("{rate}"), format!("{:.4}", ev.ber)]);
+            rows.push((label.to_string(), rate, ev.ber));
+        }
+        println!();
+    }
+    write_csv(&csv, "fig14a_ber_vs_event_rate.csv");
+    rows
+}
+
+/// Runs Figure 14(b): the App-PHI × ICh-PHI error matrix. Returns the
+/// per-cell symbol error rates (`[app_level][channel_level]`).
+pub fn run_error_matrix(quick: bool) -> Vec<Vec<f64>> {
+    banner("Figure 14(b): App-PHI level vs ICh-PHI level error matrix");
+    let reps = if quick { 8 } else { 25 };
+    let mut matrix = Vec::new();
+    let mut csv = CsvTable::new(["app_level", "ich_level", "symbol_error_rate"]);
+    println!("  rows: App-PHI level; cols: ICh-PHI (sender) level; cell: SER");
+    print!("  {:<10}", "");
+    for s in Symbol::ALL {
+        print!(" ICh-L{}", 4 - s.value());
+    }
+    println!();
+    for app_level in Symbol::ALL {
+        let mut row = Vec::new();
+        print!("  App-L{:<5}", 4 - app_level.value());
+        for ich_level in Symbol::ALL {
+            let ch = IChannel::icc_thread_covert();
+            let cal = ch.calibrate(2);
+            let symbols = vec![ich_level; reps];
+            let app_class = app_level.sender_class();
+            let deadline = ch.config().start_offset
+                + ch.config().slot_period.scale((reps + 2) as f64);
+            let tx = ch.transmit_symbols_with(&symbols, &cal, |soc| {
+                soc.spawn(
+                    1,
+                    0,
+                    Box::new(RandomPhiApp::new(
+                        2_000.0,
+                        20_000,
+                        vec![app_class],
+                        deadline,
+                        99,
+                    )),
+                );
+            });
+            let errors = tx
+                .sent
+                .iter()
+                .zip(&tx.received)
+                .filter(|(a, b)| a != b)
+                .count();
+            let ser = errors as f64 / reps as f64;
+            print!(" {ser:>6.2}");
+            csv.push_row([
+                format!("L{}", 4 - app_level.value()),
+                format!("L{}", 4 - ich_level.value()),
+                format!("{ser:.3}"),
+            ]);
+            row.push(ser);
+        }
+        println!();
+        matrix.push(row);
+    }
+    println!("  (paper: errors concentrate where the app level exceeds the channel level)");
+    write_csv(&csv, "fig14b_error_matrix.csv");
+    matrix
+}
+
+/// Runs Figure 14(c): BER vs App-PHI rate. Returns `(rate, ber)` rows.
+pub fn run_app_rate(quick: bool) -> Vec<(f64, f64)> {
+    banner("Figure 14(c): BER vs concurrent App-PHI injection rate");
+    let n = if quick { 40 } else { 200 };
+    let rates = [10.0, 100.0, 1_000.0, 10_000.0];
+    let mut rows = Vec::new();
+    let mut csv = CsvTable::new(["app_phis_per_second", "ber"]);
+    for rate in rates {
+        let ch = IChannel::icc_thread_covert();
+        let cal = ch.calibrate(3);
+        let deadline =
+            ch.config().start_offset + ch.config().slot_period.scale((n + 2) as f64);
+        let ev = evaluate_with(&ch, &cal, n, 777, |soc| {
+            soc.spawn(
+                1,
+                0,
+                Box::new(RandomPhiApp::sender_levels(rate, 20_000, deadline, 55)),
+            );
+        });
+        println!("  {rate:>7.0} App-PHIs/s → BER = {:.3}", ev.ber);
+        csv.push_row([format!("{rate}"), format!("{:.4}", ev.ber)]);
+        rows.push((rate, ev.ber));
+    }
+    write_csv(&csv, "fig14c_ber_vs_app_rate.csv");
+    rows
+}
+
+/// Runs the §6.3 7-zip experiment; returns the measured BER.
+pub fn run_sevenzip(quick: bool) -> f64 {
+    banner("§6.3: 60 s transmission beside a 7-zip-like AVX2 app");
+    let seconds = if quick { 2.0 } else { 60.0 };
+    let ch = IChannel::icc_thread_covert();
+    let cal = ch.calibrate(3);
+    let n = (seconds / ch.config().slot_period.as_secs()) as usize;
+    let symbols = random_symbols(n, 2021);
+    let deadline =
+        ch.config().start_offset + ch.config().slot_period.scale((n + 2) as f64);
+    let tx = ch.transmit_symbols_with(&symbols, &cal, |soc| {
+        soc.spawn(1, 0, Box::new(SevenZipApp::typical(deadline, 11)));
+    });
+    let mut m = ConfusionMatrix::new(4);
+    for (s, r) in tx.sent.iter().zip(&tx.received) {
+        m.record(s.value() as usize, r.value() as usize);
+    }
+    let ber = m.bit_error_rate_2bit();
+    println!(
+        "  {} symbols over {seconds} s beside 7-zip (AVX2-only): BER = {ber:.4} (paper: < 0.07)",
+        n
+    );
+    let _ = InstClass::Heavy256; // the app's PHI alphabet
+    ber
+}
+
+/// Runs all Figure 14 parts.
+pub fn run(quick: bool) {
+    let _ = run_event_noise(quick);
+    let _ = run_error_matrix(quick);
+    let _ = run_app_rate(quick);
+    let _ = run_sevenzip(quick);
+}

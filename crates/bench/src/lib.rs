@@ -1,0 +1,51 @@
+//! # `ichannels-bench` — the paper-regeneration harness
+//!
+//! One module per evaluation artifact of the IChannels paper. Each
+//! module exposes `run(quick)` used both by its dedicated binary
+//! (`cargo run -p ichannels-bench --bin figNN_…`) and by the all-in-one
+//! `repro_all` binary. `quick = true` shrinks trial counts for smoke
+//! tests; the binaries default to full fidelity.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`figs::fig06`] | Fig. 6 — Vcc steps under multi-core AVX2 / calculix |
+//! | [`figs::fig07`] | Fig. 7 — Vccmax/Iccmax protection, 3-phase timeline |
+//! | [`figs::fig08`] | Fig. 8 — TP distributions, AVX power-gate wake |
+//! | [`figs::fig09`] | Fig. 9 — throttling timelines (guardband & P-state) |
+//! | [`figs::fig10`] | Fig. 10 — multi-level throttling periods |
+//! | [`figs::fig11`] | Fig. 11 — IDQ undelivered-uops distributions |
+//! | [`figs::fig12`] | Fig. 12 — channel throughput vs state of the art |
+//! | [`figs::fig13`] | Fig. 13 — receiver TP distribution per level |
+//! | [`figs::fig14`] | Fig. 14 — BER under noise / concurrent apps |
+//! | [`figs::table1`] | Table 1 — mitigation effectiveness & overhead |
+//! | [`figs::table2`] | Table 2 — comparison with NetSpectre/TurboCC |
+
+#![warn(missing_docs)]
+
+pub mod figs;
+
+use ichannels_meter::export::CsvTable;
+use std::path::PathBuf;
+
+/// Directory where harness binaries write `*.csv` (default `results/`,
+/// overridable via `ICHANNELS_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("ICHANNELS_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes a table under the results dir and logs the path.
+pub fn write_csv(table: &CsvTable, name: &str) {
+    let path = results_dir().join(name);
+    match table.write_to(&path) {
+        Ok(()) => println!("  wrote {} ({} rows)", path.display(), table.len()),
+        Err(e) => eprintln!("  FAILED to write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a banner for one artifact.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}

@@ -1,0 +1,175 @@
+//! Side-channel variant of IChannels (paper §6.5).
+//!
+//! "Attacker code can infer the instruction types (e.g., 64bit scalar,
+//! 128bit vector, 256bit vector, 512bit vector instructions) of victim
+//! code that is running 1) on another SMT thread by utilizing the
+//! Multi-Throttling-SMT side-effect, or 2) on another core by utilizing
+//! the Multi-Throttling-Cores side-effect."
+//!
+//! The victim is *not* cooperating: it simply executes whatever its
+//! workload demands. The spy times its own loops and classifies the
+//! victim's instruction class from the co-throttling it experiences.
+
+use ichannels_meter::stats::ConfusionMatrix;
+use ichannels_soc::program::Script;
+use ichannels_soc::sim::Soc;
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::SimTime;
+use ichannels_workload::loops::{instructions_for_duration, MeasuredLoop, Recorder};
+
+use crate::channel::{ChannelConfig, ChannelKind};
+
+/// Where the spy observes the victim from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpyPlacement {
+    /// Spy on the victim's SMT sibling (Multi-Throttling-SMT).
+    SmtSibling,
+    /// Spy on another physical core (Multi-Throttling-Cores).
+    OtherCore,
+}
+
+/// The instruction-type inference side channel.
+#[derive(Debug, Clone)]
+pub struct InstructionSpy {
+    cfg: ChannelConfig,
+    placement: SpyPlacement,
+}
+
+impl InstructionSpy {
+    /// Creates a spy with the given placement on the channel's default
+    /// platform configuration.
+    pub fn new(placement: SpyPlacement, cfg: ChannelConfig) -> Self {
+        if placement == SpyPlacement::SmtSibling {
+            assert!(cfg.soc.platform.smt, "SMT sibling spy requires SMT");
+        }
+        InstructionSpy { cfg, placement }
+    }
+
+    /// Default Cannon Lake spy.
+    pub fn default_cannon_lake(placement: SpyPlacement) -> Self {
+        InstructionSpy::new(placement, ChannelConfig::default_cannon_lake())
+    }
+
+    /// The spy's probe class: a scalar loop on the sibling (throttled by
+    /// the shared IDQ gate) or a PHI probe across cores (queued behind
+    /// the victim's transition).
+    fn probe_class(&self) -> InstClass {
+        match self.placement {
+            SpyPlacement::SmtSibling => ChannelKind::Smt.receiver_class(),
+            SpyPlacement::OtherCore => ChannelKind::Cores.receiver_class(),
+        }
+    }
+
+    /// Runs one observation: the victim executes a burst of
+    /// `victim_class` while the spy times its probe loop. Returns the
+    /// probe duration in TSC cycles.
+    pub fn observe(&self, victim_class: InstClass) -> u64 {
+        let cfg = &self.cfg;
+        let mut soc = Soc::new(cfg.soc.clone());
+        let freq = cfg.freq();
+        let victim_insts = instructions_for_duration(victim_class, freq, cfg.sender_loop);
+        let probe_insts =
+            instructions_for_duration(self.probe_class(), freq, cfg.receiver_loop);
+        // Victim starts its burst at t=0 (simulation start).
+        soc.spawn(0, 0, Box::new(Script::run_loop(victim_class, victim_insts)));
+        // Spy probes right after the victim begins.
+        let rec = Recorder::new();
+        let (core, smt) = match self.placement {
+            SpyPlacement::SmtSibling => (0, 1),
+            SpyPlacement::OtherCore => (1, 0),
+        };
+        soc.spawn(core, smt, Box::new(MeasuredLoop::once(self.probe_class(), probe_insts, rec.clone())));
+        soc.run_until_idle(SimTime::from_ms(2.0));
+        rec.values()[0]
+    }
+
+    /// Calibrates per-class probe durations (the attacker profiles the
+    /// machine offline).
+    pub fn profile(&self, classes: &[InstClass]) -> Vec<(InstClass, f64)> {
+        classes
+            .iter()
+            .map(|&c| (c, self.observe(c) as f64))
+            .collect()
+    }
+
+    /// Classifies one observation against a profile (nearest mean).
+    pub fn classify(&self, duration: u64, profile: &[(InstClass, f64)]) -> InstClass {
+        let d = duration as f64;
+        profile
+            .iter()
+            .min_by(|a, b| {
+                (a.1 - d)
+                    .abs()
+                    .partial_cmp(&(b.1 - d).abs())
+                    .expect("finite")
+            })
+            .expect("non-empty profile")
+            .0
+    }
+
+    /// Full accuracy experiment: profiles `classes`, then runs `trials`
+    /// observations per class and returns the confusion matrix (row =
+    /// victim class index, column = inferred).
+    pub fn accuracy_experiment(&self, classes: &[InstClass], trials: usize) -> ConfusionMatrix {
+        let profile = self.profile(classes);
+        let mut m = ConfusionMatrix::new(classes.len());
+        for (i, &victim) in classes.iter().enumerate() {
+            for _ in 0..trials {
+                let d = self.observe(victim);
+                let inferred = self.classify(d, &profile);
+                let j = classes
+                    .iter()
+                    .position(|&c| c == inferred)
+                    .expect("class in set");
+                m.record(i, j);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The four widths the paper names in §6.5.
+    fn width_classes() -> Vec<InstClass> {
+        vec![
+            InstClass::Scalar64,
+            InstClass::Heavy128,
+            InstClass::Heavy256,
+            InstClass::Heavy512,
+        ]
+    }
+
+    #[test]
+    fn smt_spy_distinguishes_widths() {
+        let spy = InstructionSpy::default_cannon_lake(SpyPlacement::SmtSibling);
+        let m = spy.accuracy_experiment(&width_classes(), 2);
+        assert_eq!(
+            m.symbol_error_rate(),
+            0.0,
+            "SMT spy misclassified: {m:?}"
+        );
+    }
+
+    #[test]
+    fn cross_core_spy_distinguishes_phis() {
+        let spy = InstructionSpy::default_cannon_lake(SpyPlacement::OtherCore);
+        // Scalar victims produce no cross-core signal; PHI classes do.
+        let classes = vec![InstClass::Heavy128, InstClass::Heavy256, InstClass::Heavy512];
+        let m = spy.accuracy_experiment(&classes, 2);
+        assert_eq!(m.symbol_error_rate(), 0.0, "cross-core spy: {m:?}");
+    }
+
+    #[test]
+    fn observation_is_monotone_in_victim_intensity() {
+        let spy = InstructionSpy::default_cannon_lake(SpyPlacement::SmtSibling);
+        let mut last = 0;
+        for c in width_classes() {
+            let d = spy.observe(c);
+            assert!(d >= last, "class {c}: {d} < {last}");
+            last = d;
+        }
+    }
+}

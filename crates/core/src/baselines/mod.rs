@@ -1,0 +1,20 @@
+//! State-of-the-art covert channels the paper compares against
+//! (Figure 12, Table 2): NetSpectre's same-thread AVX gadget, TurboCC's
+//! turbo-frequency channel, DFScovert's governor channel, and POWERT's
+//! power-budget channel.
+//!
+//! NetSpectre and TurboCC run end-to-end on the full SoC simulator;
+//! DFScovert and POWERT are modelled directly over the governor/P-state
+//! and power-limit state machines (their original attack surfaces —
+//! sysfs writes and package power budgeting — have no in-process
+//! counterpart; see DESIGN.md).
+
+pub mod dfscovert;
+pub mod netspectre;
+pub mod powert;
+pub mod turbocc;
+
+pub use dfscovert::{DfsCovertChannel, DfsCovertConfig};
+pub use netspectre::{NetSpectreChannel, NetSpectreTx};
+pub use powert::{PowerTChannel, PowerTConfig};
+pub use turbocc::{TurboCcChannel, TurboCcConfig, TurboCcTx};

@@ -1,0 +1,248 @@
+//! The NetSpectre covert-channel gadget (Schwarz et al., baseline of
+//! Figure 12(a)).
+//!
+//! NetSpectre's AVX gadget is a *single-level* same-thread channel: the
+//! sender either executes an AVX2 loop (bit 1) or stays idle (bit 0);
+//! the receiver then times its own AVX2 loop — throttled (long) means
+//! the voltage was still at baseline (bit 0), unthrottled (short) means
+//! the sender had already raised it (bit 1). One bit per transaction,
+//! same reset-time cycle ⇒ half of IccThreadCovert's throughput
+//! (we compare "to NetSpectre's main gadget … not to the end-to-end
+//! NetSpectre implementation", §6.2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ichannels_soc::program::{Action, ProgCtx, Program};
+use ichannels_soc::sim::Soc;
+use ichannels_uarch::isa::InstClass;
+use ichannels_workload::loops::{instructions_for_duration, Recorder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::channel::ChannelConfig;
+
+/// The NetSpectre-style 1-bit covert channel.
+#[derive(Debug, Clone)]
+pub struct NetSpectreChannel {
+    cfg: ChannelConfig,
+}
+
+/// A decoded NetSpectre transmission.
+#[derive(Debug, Clone)]
+pub struct NetSpectreTx {
+    /// Bits sent.
+    pub sent: Vec<bool>,
+    /// Bits decoded.
+    pub received: Vec<bool>,
+    /// Raw receiver durations (TSC cycles).
+    pub durations: Vec<u64>,
+    /// Throughput in bits/s (1 bit per slot).
+    pub throughput_bps: f64,
+}
+
+impl NetSpectreTx {
+    /// Fraction of wrong bits.
+    pub fn bit_error_rate(&self) -> f64 {
+        if self.sent.is_empty() {
+            return 0.0;
+        }
+        let wrong = self
+            .sent
+            .iter()
+            .zip(&self.received)
+            .filter(|(a, b)| a != b)
+            .count();
+        wrong as f64 / self.sent.len() as f64
+    }
+}
+
+impl NetSpectreChannel {
+    /// Creates the channel on the same configuration as IccThreadCovert
+    /// (so the Figure 12(a) comparison is apples-to-apples).
+    pub fn new(cfg: ChannelConfig) -> Self {
+        NetSpectreChannel { cfg }
+    }
+
+    /// Default instance on Cannon Lake.
+    pub fn default_cannon_lake() -> Self {
+        NetSpectreChannel::new(ChannelConfig::default_cannon_lake())
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Runs a bit sequence, returning raw receiver durations.
+    pub fn run_bits(&self, bits: &[bool]) -> Vec<u64> {
+        let cfg = &self.cfg;
+        let mut soc = Soc::new(cfg.soc.clone());
+        let tsc = *soc.tsc();
+        let freq = cfg.freq();
+        let slot0 = tsc.read(cfg.start_offset);
+        let period = tsc.duration_to_cycles(cfg.slot_period);
+        let sender_insts =
+            instructions_for_duration(InstClass::Heavy256, freq, cfg.sender_loop);
+        let recv_insts =
+            instructions_for_duration(InstClass::Heavy256, freq, cfg.receiver_loop);
+        let recorder = Recorder::new();
+        let sigma = tsc.duration_to_cycles(cfg.measurement_jitter) as f64;
+        soc.spawn(
+            0,
+            0,
+            Box::new(NetSpectreProg {
+                bits: bits.to_vec(),
+                idx: 0,
+                stage: 0,
+                slot0,
+                period,
+                sender_insts,
+                recv_insts,
+                t_start: 0,
+                recorder: recorder.clone(),
+                rng: Rc::new(RefCell::new(SmallRng::seed_from_u64(cfg.jitter_seed))),
+                sigma,
+            }),
+        );
+        let deadline = cfg.start_offset + cfg.slot_period.scale((bits.len() + 2) as f64);
+        soc.run_until_idle(deadline);
+        recorder.values()
+    }
+
+    /// Calibrates the two duration levels: returns `(mean_one, mean_zero)`
+    /// in TSC cycles.
+    pub fn calibrate(&self, reps: usize) -> (f64, f64) {
+        let ones = self.run_bits(&vec![true; reps]);
+        let zeros = self.run_bits(&vec![false; reps]);
+        let mean = |v: &[u64]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        (mean(&ones), mean(&zeros))
+    }
+
+    /// Transmits bits and decodes against the calibrated means.
+    pub fn transmit(&self, bits: &[bool], cal: (f64, f64)) -> NetSpectreTx {
+        let durations = self.run_bits(bits);
+        let received: Vec<bool> = durations
+            .iter()
+            .map(|&d| {
+                let d = d as f64;
+                (d - cal.0).abs() < (d - cal.1).abs()
+            })
+            .collect();
+        let elapsed = self.cfg.slot_period.scale(bits.len() as f64);
+        NetSpectreTx {
+            sent: bits.to_vec(),
+            received,
+            durations,
+            throughput_bps: bits.len() as f64 / elapsed.as_secs(),
+        }
+    }
+}
+
+struct NetSpectreProg {
+    bits: Vec<bool>,
+    idx: usize,
+    stage: u8,
+    slot0: u64,
+    period: u64,
+    sender_insts: u64,
+    recv_insts: u64,
+    t_start: u64,
+    recorder: Recorder,
+    rng: Rc<RefCell<SmallRng>>,
+    sigma: f64,
+}
+
+impl std::fmt::Debug for NetSpectreProg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetSpectreProg(idx={})", self.idx)
+    }
+}
+
+impl Program for NetSpectreProg {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        loop {
+            if self.idx >= self.bits.len() {
+                return Action::Halt;
+            }
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    return Action::WaitUntilTsc(self.slot0 + self.idx as u64 * self.period);
+                }
+                1 => {
+                    self.stage = 2;
+                    if self.bits[self.idx] {
+                        // Bit 1: the "leak" executes the AVX2 instruction.
+                        return Action::Run {
+                            class: InstClass::Heavy256,
+                            instructions: self.sender_insts,
+                        };
+                    }
+                    // Bit 0: nothing executed; fall through to measure.
+                }
+                2 => {
+                    self.stage = 3;
+                    self.t_start = ctx.tsc;
+                    return Action::Run {
+                        class: InstClass::Heavy256,
+                        instructions: self.recv_insts,
+                    };
+                }
+                _ => {
+                    let mut d = ctx.tsc.saturating_sub(self.t_start) as f64;
+                    if self.sigma > 0.0 {
+                        let mut rng = self.rng.borrow_mut();
+                        let u1: f64 = rng.gen_range(1e-12..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        d += (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos()
+                            * self.sigma;
+                    }
+                    self.recorder.push(d.max(0.0).round() as u64);
+                    self.idx += 1;
+                    self.stage = 0;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "NetSpectre gadget"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_channel_round_trips() {
+        let ch = NetSpectreChannel::default_cannon_lake();
+        let cal = ch.calibrate(3);
+        let bits = [true, false, false, true, true, false, true, false];
+        let tx = ch.transmit(&bits, cal);
+        assert_eq!(tx.received, bits);
+        assert_eq!(tx.bit_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn half_the_throughput_of_icc_thread_covert() {
+        // Figure 12(a): IccThreadCovert = 2× NetSpectre.
+        let ns = NetSpectreChannel::default_cannon_lake();
+        let cal = ns.calibrate(2);
+        let tx = ns.transmit(&[true, false, true, false], cal);
+        let icc_bps = 2.0 / ns.config().slot_period.as_secs();
+        let ratio = icc_bps / tx.throughput_bps;
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn levels_are_separated() {
+        let ch = NetSpectreChannel::default_cannon_lake();
+        let (one, zero) = ch.calibrate(3);
+        // Bit 0 (no prior AVX2) leaves the full ramp to the receiver ⇒
+        // longer duration.
+        assert!(zero > one + 2_000.0, "one = {one}, zero = {zero}");
+    }
+}

@@ -1,0 +1,735 @@
+//! The three IChannels covert channels (paper §4):
+//! [`ChannelKind::Thread`] (IccThreadCovert), [`ChannelKind::Smt`]
+//! (IccSMTcovert), and [`ChannelKind::Cores`] (IccCoresCovert).
+//!
+//! All three share the Figure 3 structure: per transaction the sender
+//! executes a PHI loop whose computational-intensity level encodes two
+//! secret bits; the receiver times its own loop with `rdtsc` and decodes
+//! the bits from the throttling period embedded in that duration. After
+//! each transaction the channel waits out the 650 µs *reset-time* so the
+//! voltage returns to baseline; the cycle time (< 690 µs) bounds the
+//! throughput at ~2.9 kb/s (§6.2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ichannels_soc::config::{PlatformSpec, SocConfig};
+use ichannels_soc::program::{Action, ProgCtx, Program};
+use ichannels_soc::sim::Soc;
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::{Freq, SimTime};
+use ichannels_workload::loops::{instructions_for_duration, Recorder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::symbols::Symbol;
+
+/// Where the two communicating execution contexts live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Same hardware thread (IccThreadCovert).
+    Thread,
+    /// Two SMT threads of one physical core (IccSMTcovert).
+    Smt,
+    /// Two different physical cores (IccCoresCovert).
+    Cores,
+}
+
+impl ChannelKind {
+    /// The receiver's measurement loop class (Figure 3): `512b_Heavy`
+    /// on the same thread, `64b` across SMT, `128b_Heavy` across cores.
+    pub const fn receiver_class(self) -> InstClass {
+        match self {
+            ChannelKind::Thread => InstClass::Heavy512,
+            ChannelKind::Smt => InstClass::Scalar64,
+            ChannelKind::Cores => InstClass::Heavy128,
+        }
+    }
+
+    /// Display name used in the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ChannelKind::Thread => "IccThreadCovert",
+            ChannelKind::Smt => "IccSMTcovert",
+            ChannelKind::Cores => "IccCoresCovert",
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Configuration of a covert channel instance.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// The simulated system the two contexts run on (platform, noise,
+    /// mitigations).
+    pub soc: SocConfig,
+    /// Transaction period: PHI transmission + reset-time (§6.2:
+    /// < 690 µs).
+    pub slot_period: SimTime,
+    /// Settling time before the first slot.
+    pub start_offset: SimTime,
+    /// Target (unthrottled) duration of the sender's PHI loop.
+    pub sender_loop: SimTime,
+    /// Target (unthrottled) duration of the receiver's measured loop.
+    pub receiver_loop: SimTime,
+    /// How long after the sender the cross-core receiver starts its loop
+    /// ("within a few hundred cycles", §4.3.1).
+    pub cross_core_delay: SimTime,
+    /// 1-σ receiver measurement jitter (rdtsc serialization, pipeline
+    /// drain — the spread visible in Figure 13).
+    pub measurement_jitter: SimTime,
+    /// RNG seed for the measurement jitter.
+    pub jitter_seed: u64,
+}
+
+impl ChannelConfig {
+    /// The paper's default setup: Cannon Lake pinned at 1.4 GHz
+    /// (IccSMTcovert is only testable there — Coffee Lake has no SMT).
+    pub fn default_cannon_lake() -> Self {
+        ChannelConfig {
+            soc: SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4)),
+            slot_period: SimTime::from_us(690.0),
+            start_offset: SimTime::from_us(100.0),
+            sender_loop: SimTime::from_us(15.0),
+            receiver_loop: SimTime::from_us(8.0),
+            cross_core_delay: SimTime::from_ns(150.0),
+            measurement_jitter: SimTime::from_ns(150.0),
+            jitter_seed: 0x5EED_1CC,
+        }
+    }
+
+    /// The frequency the channel operates at (pinned governor assumed).
+    pub fn freq(&self) -> Freq {
+        match self.soc.governor {
+            ichannels_pmu::governor::Governor::Userspace(f) => f,
+            _ => self.soc.platform.pstates.max(),
+        }
+    }
+}
+
+/// Per-level mean receiver durations learned during calibration, in TSC
+/// cycles, plus nearest-mean decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    means: [f64; 4],
+}
+
+impl Calibration {
+    /// Builds a calibration from per-symbol mean durations (TSC cycles).
+    pub fn from_means(means: [f64; 4]) -> Self {
+        Calibration { means }
+    }
+
+    /// Per-symbol mean durations (TSC cycles).
+    pub fn means(&self) -> &[f64; 4] {
+        &self.means
+    }
+
+    /// Decodes a measured duration by the nearest calibrated mean.
+    pub fn decode(&self, duration_cycles: u64) -> Symbol {
+        let d = duration_cycles as f64;
+        let mut best = 0usize;
+        let mut best_err = f64::INFINITY;
+        for (i, m) in self.means.iter().enumerate() {
+            let e = (d - m).abs();
+            if e < best_err {
+                best_err = e;
+                best = i;
+            }
+        }
+        Symbol::new(best as u8)
+    }
+
+    /// Minimum separation between adjacent level means (TSC cycles) —
+    /// the paper reports > 2 000 cycles on a low-noise system (§6.3).
+    pub fn min_separation_cycles(&self) -> f64 {
+        let mut sorted = self.means;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Result of one transmission.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// Symbols the sender transmitted.
+    pub sent: Vec<Symbol>,
+    /// Symbols the receiver decoded.
+    pub received: Vec<Symbol>,
+    /// Raw receiver durations (TSC cycles), one per transaction.
+    pub durations: Vec<u64>,
+    /// Wall-clock time of the whole transmission.
+    pub elapsed: SimTime,
+}
+
+impl Transmission {
+    /// Gross channel throughput in bits/s (2 bits per transaction over
+    /// the measured wall-clock time).
+    pub fn throughput_bps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.sent.len() as f64 * 2.0) / self.elapsed.as_secs()
+    }
+
+    /// Fraction of wrong bits.
+    pub fn bit_error_rate(&self) -> f64 {
+        if self.sent.is_empty() {
+            return 0.0;
+        }
+        let wrong: u32 = self
+            .sent
+            .iter()
+            .zip(&self.received)
+            .map(|(s, r)| s.bit_errors_vs(*r))
+            .sum();
+        f64::from(wrong) / (self.sent.len() as f64 * 2.0)
+    }
+}
+
+/// An IChannels covert channel bound to a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ichannels::channel::{ChannelConfig, ChannelKind, IChannel};
+/// use ichannels::symbols::Symbol;
+///
+/// let ch = IChannel::new(ChannelKind::Thread, ChannelConfig::default_cannon_lake());
+/// let cal = ch.calibrate(3);
+/// let tx = ch.transmit_symbols(&[Symbol::new(0), Symbol::new(3)], &cal);
+/// assert_eq!(tx.sent.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IChannel {
+    kind: ChannelKind,
+    cfg: ChannelConfig,
+}
+
+impl IChannel {
+    /// Creates a channel of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is [`ChannelKind::Smt`] on a platform without
+    /// SMT, or [`ChannelKind::Cores`] on a single-core platform.
+    pub fn new(kind: ChannelKind, cfg: ChannelConfig) -> Self {
+        match kind {
+            ChannelKind::Smt => assert!(
+                cfg.soc.platform.smt,
+                "{} requires SMT (the paper tests it only on Cannon Lake)",
+                kind
+            ),
+            ChannelKind::Cores => assert!(
+                cfg.soc.platform.n_cores >= 2,
+                "{} requires at least two cores",
+                kind
+            ),
+            ChannelKind::Thread => {}
+        }
+        IChannel { kind, cfg }
+    }
+
+    /// IccThreadCovert on the default platform.
+    pub fn icc_thread_covert() -> Self {
+        IChannel::new(ChannelKind::Thread, ChannelConfig::default_cannon_lake())
+    }
+
+    /// IccSMTcovert on the default platform.
+    pub fn icc_smt_covert() -> Self {
+        IChannel::new(ChannelKind::Smt, ChannelConfig::default_cannon_lake())
+    }
+
+    /// IccCoresCovert on the default platform.
+    pub fn icc_cores_covert() -> Self {
+        IChannel::new(ChannelKind::Cores, ChannelConfig::default_cannon_lake())
+    }
+
+    /// The channel kind.
+    pub fn kind(&self) -> ChannelKind {
+        self.kind
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the configuration (e.g., to apply mitigations
+    /// or noise before calibrating).
+    pub fn config_mut(&mut self) -> &mut ChannelConfig {
+        &mut self.cfg
+    }
+
+    /// Runs the sender/receiver pair over `symbols` and returns the raw
+    /// receiver durations (TSC cycles), one per transaction.
+    pub fn run_symbols(&self, symbols: &[Symbol]) -> Vec<u64> {
+        self.run_symbols_with(symbols, |_| {})
+    }
+
+    /// Like [`IChannel::run_symbols`], with a hook to add extra programs
+    /// (noise applications) to the SoC before the run.
+    pub fn run_symbols_with<F>(&self, symbols: &[Symbol], setup: F) -> Vec<u64>
+    where
+        F: FnOnce(&mut Soc),
+    {
+        let cfg = &self.cfg;
+        let mut soc = Soc::new(cfg.soc.clone());
+        setup(&mut soc);
+        let freq = cfg.freq();
+        let tsc = *soc.tsc();
+        let slot0 = tsc.read(cfg.start_offset);
+        let period = tsc.duration_to_cycles(cfg.slot_period);
+        let sender_insts: [u64; 4] = std::array::from_fn(|i| {
+            instructions_for_duration(Symbol::new(i as u8).sender_class(), freq, cfg.sender_loop)
+        });
+        let recv_class = self.kind.receiver_class();
+        let recv_insts = instructions_for_duration(recv_class, freq, cfg.receiver_loop);
+        let recorder = Recorder::new();
+        let jitter = Rc::new(RefCell::new(JitterSource::new(
+            cfg.jitter_seed,
+            tsc.duration_to_cycles(cfg.measurement_jitter) as f64,
+        )));
+
+        match self.kind {
+            ChannelKind::Thread => {
+                soc.spawn(
+                    0,
+                    0,
+                    Box::new(ThreadChannelProg {
+                        symbols: symbols.to_vec(),
+                        idx: 0,
+                        stage: 0,
+                        slot0,
+                        period,
+                        sender_insts,
+                        recv_class,
+                        recv_insts,
+                        t_start: 0,
+                        recorder: recorder.clone(),
+                        jitter: jitter.clone(),
+                    }),
+                );
+            }
+            ChannelKind::Smt | ChannelKind::Cores => {
+                let recv_delay = if self.kind == ChannelKind::Cores {
+                    tsc.duration_to_cycles(cfg.cross_core_delay)
+                } else {
+                    0
+                };
+                soc.spawn(
+                    0,
+                    0,
+                    Box::new(SenderProg {
+                        symbols: symbols.to_vec(),
+                        idx: 0,
+                        running: false,
+                        slot0,
+                        period,
+                        sender_insts,
+                    }),
+                );
+                let (rc, rs) = if self.kind == ChannelKind::Smt {
+                    (0, 1)
+                } else {
+                    (1, 0)
+                };
+                soc.spawn(
+                    rc,
+                    rs,
+                    Box::new(ReceiverProg {
+                        n: symbols.len(),
+                        idx: 0,
+                        stage: 0,
+                        slot0: slot0 + recv_delay,
+                        period,
+                        class: recv_class,
+                        insts: recv_insts,
+                        t_start: 0,
+                        recorder: recorder.clone(),
+                        jitter: jitter.clone(),
+                    }),
+                );
+            }
+        }
+
+        let deadline =
+            cfg.start_offset + cfg.slot_period.scale((symbols.len() + 2) as f64);
+        soc.run_until_idle(deadline);
+        let durations = recorder.values();
+        assert_eq!(
+            durations.len(),
+            symbols.len(),
+            "receiver missed transactions ({} of {})",
+            durations.len(),
+            symbols.len()
+        );
+        durations
+    }
+
+    /// Calibrates the channel: transmits each of the four levels
+    /// `reps` times with known symbols and records the mean duration per
+    /// level.
+    pub fn calibrate(&self, reps: usize) -> Calibration {
+        assert!(reps > 0, "calibration needs at least one repetition");
+        let mut means = [0.0f64; 4];
+        for (i, mean) in means.iter_mut().enumerate() {
+            let symbols = vec![Symbol::new(i as u8); reps];
+            let durations = self.run_symbols(&symbols);
+            *mean = durations.iter().map(|&d| d as f64).sum::<f64>() / reps as f64;
+        }
+        Calibration::from_means(means)
+    }
+
+    /// Transmits symbols and decodes them with the calibration.
+    pub fn transmit_symbols(&self, symbols: &[Symbol], cal: &Calibration) -> Transmission {
+        self.transmit_symbols_with(symbols, cal, |_| {})
+    }
+
+    /// Like [`IChannel::transmit_symbols`], with a SoC setup hook for
+    /// concurrent noise applications (§6.3).
+    pub fn transmit_symbols_with<F>(
+        &self,
+        symbols: &[Symbol],
+        cal: &Calibration,
+        setup: F,
+    ) -> Transmission
+    where
+        F: FnOnce(&mut Soc),
+    {
+        let durations = self.run_symbols_with(symbols, setup);
+        let received: Vec<Symbol> = durations.iter().map(|&d| cal.decode(d)).collect();
+        Transmission {
+            sent: symbols.to_vec(),
+            received,
+            durations,
+            elapsed: self.cfg.slot_period.scale(symbols.len() as f64),
+        }
+    }
+
+    /// Transmits raw bits (even count) — the end-to-end covert channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit count is odd.
+    pub fn transmit_bits(&self, bits: &[bool], cal: &Calibration) -> Transmission {
+        let symbols = crate::symbols::bits_to_symbols(bits);
+        self.transmit_symbols(&symbols, cal)
+    }
+}
+
+/// Gaussian measurement jitter on the receiver's `rdtsc` delta.
+#[derive(Debug)]
+struct JitterSource {
+    rng: SmallRng,
+    sigma_cycles: f64,
+}
+
+impl JitterSource {
+    fn new(seed: u64, sigma_cycles: f64) -> Self {
+        JitterSource {
+            rng: SmallRng::seed_from_u64(seed),
+            sigma_cycles,
+        }
+    }
+
+    fn apply(&mut self, cycles: u64) -> u64 {
+        if self.sigma_cycles <= 0.0 {
+            return cycles;
+        }
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let jittered = cycles as f64 + g * self.sigma_cycles;
+        jittered.max(0.0).round() as u64
+    }
+}
+
+/// Same-hardware-thread program: alternates sender and receiver roles
+/// within each transaction slot (IccThreadCovert).
+struct ThreadChannelProg {
+    symbols: Vec<Symbol>,
+    idx: usize,
+    stage: u8,
+    slot0: u64,
+    period: u64,
+    sender_insts: [u64; 4],
+    recv_class: InstClass,
+    recv_insts: u64,
+    t_start: u64,
+    recorder: Recorder,
+    jitter: Rc<RefCell<JitterSource>>,
+}
+
+impl std::fmt::Debug for ThreadChannelProg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ThreadChannelProg(idx={})", self.idx)
+    }
+}
+
+impl Program for ThreadChannelProg {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        loop {
+            if self.idx >= self.symbols.len() {
+                return Action::Halt;
+            }
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    return Action::WaitUntilTsc(self.slot0 + self.idx as u64 * self.period);
+                }
+                1 => {
+                    // Sender role: PHI loop encoding two bits.
+                    self.stage = 2;
+                    let s = self.symbols[self.idx];
+                    return Action::Run {
+                        class: s.sender_class(),
+                        instructions: self.sender_insts[s.value() as usize],
+                    };
+                }
+                2 => {
+                    // Receiver role: timed 512b-Heavy loop.
+                    self.stage = 3;
+                    self.t_start = ctx.tsc;
+                    return Action::Run {
+                        class: self.recv_class,
+                        instructions: self.recv_insts,
+                    };
+                }
+                _ => {
+                    let d = ctx.tsc.saturating_sub(self.t_start);
+                    self.recorder.push(self.jitter.borrow_mut().apply(d));
+                    self.idx += 1;
+                    self.stage = 0;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "IccThreadCovert"
+    }
+}
+
+/// Standalone sender (IccSMTcovert / IccCoresCovert).
+struct SenderProg {
+    symbols: Vec<Symbol>,
+    idx: usize,
+    running: bool,
+    slot0: u64,
+    period: u64,
+    sender_insts: [u64; 4],
+}
+
+impl std::fmt::Debug for SenderProg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SenderProg(idx={})", self.idx)
+    }
+}
+
+impl Program for SenderProg {
+    fn next(&mut self, _ctx: &ProgCtx) -> Action {
+        if self.idx >= self.symbols.len() {
+            return Action::Halt;
+        }
+        if !self.running {
+            self.running = true;
+            Action::WaitUntilTsc(self.slot0 + self.idx as u64 * self.period)
+        } else {
+            self.running = false;
+            let s = self.symbols[self.idx];
+            self.idx += 1;
+            Action::Run {
+                class: s.sender_class(),
+                instructions: self.sender_insts[s.value() as usize],
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "IChannels sender"
+    }
+}
+
+/// Standalone receiver (IccSMTcovert / IccCoresCovert).
+struct ReceiverProg {
+    n: usize,
+    idx: usize,
+    stage: u8,
+    slot0: u64,
+    period: u64,
+    class: InstClass,
+    insts: u64,
+    t_start: u64,
+    recorder: Recorder,
+    jitter: Rc<RefCell<JitterSource>>,
+}
+
+impl std::fmt::Debug for ReceiverProg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReceiverProg(idx={})", self.idx)
+    }
+}
+
+impl Program for ReceiverProg {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        loop {
+            if self.idx >= self.n {
+                return Action::Halt;
+            }
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    return Action::WaitUntilTsc(self.slot0 + self.idx as u64 * self.period);
+                }
+                1 => {
+                    self.stage = 2;
+                    self.t_start = ctx.tsc;
+                    return Action::Run {
+                        class: self.class,
+                        instructions: self.insts,
+                    };
+                }
+                _ => {
+                    let d = ctx.tsc.saturating_sub(self.t_start);
+                    self.recorder.push(self.jitter.borrow_mut().apply(d));
+                    self.idx += 1;
+                    self.stage = 0;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "IChannels receiver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_levels() -> Vec<Symbol> {
+        Symbol::ALL.to_vec()
+    }
+
+    #[test]
+    fn thread_channel_levels_are_ordered_and_separated() {
+        let ch = IChannel::icc_thread_covert();
+        let durations = ch.run_symbols(&all_levels());
+        // Same-thread: higher sender level ⇒ less remaining ramp ⇒
+        // SHORTER receiver duration.
+        for w in durations.windows(2) {
+            assert!(w[1] < w[0], "durations = {durations:?}");
+        }
+        // Level separation > 2000 TSC cycles (§6.3, Figure 13).
+        for w in durations.windows(2) {
+            assert!(
+                w[0] - w[1] > 1800,
+                "adjacent separation too small: {durations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn smt_channel_levels_are_ordered() {
+        let ch = IChannel::icc_smt_covert();
+        let durations = ch.run_symbols(&all_levels());
+        // Across SMT: higher sender level ⇒ longer co-throttling ⇒
+        // LONGER receiver duration.
+        for w in durations.windows(2) {
+            assert!(w[1] > w[0], "durations = {durations:?}");
+        }
+    }
+
+    #[test]
+    fn cores_channel_levels_are_ordered() {
+        let ch = IChannel::icc_cores_covert();
+        let durations = ch.run_symbols(&all_levels());
+        for w in durations.windows(2) {
+            assert!(w[1] > w[0], "durations = {durations:?}");
+        }
+    }
+
+    #[test]
+    fn calibrate_then_transmit_round_trips() {
+        for ch in [
+            IChannel::icc_thread_covert(),
+            IChannel::icc_smt_covert(),
+            IChannel::icc_cores_covert(),
+        ] {
+            let cal = ch.calibrate(3);
+            let msg = [
+                Symbol::new(2),
+                Symbol::new(0),
+                Symbol::new(3),
+                Symbol::new(1),
+                Symbol::new(3),
+                Symbol::new(0),
+            ];
+            let tx = ch.transmit_symbols(&msg, &cal);
+            assert_eq!(tx.received, msg, "{} failed", ch.kind());
+            assert_eq!(tx.bit_error_rate(), 0.0);
+        }
+    }
+
+    #[test]
+    fn throughput_is_about_2_9_kbps() {
+        let ch = IChannel::icc_thread_covert();
+        let cal = ch.calibrate(2);
+        let msg = vec![Symbol::new(1); 10];
+        let tx = ch.transmit_symbols(&msg, &cal);
+        let bps = tx.throughput_bps();
+        assert!(
+            (2_800.0..3_000.0).contains(&bps),
+            "throughput = {bps} b/s"
+        );
+    }
+
+    #[test]
+    fn transmit_bits_api() {
+        let ch = IChannel::icc_thread_covert();
+        let cal = ch.calibrate(2);
+        let bits = [true, false, false, true, true, true];
+        let tx = ch.transmit_bits(&bits, &cal);
+        assert_eq!(crate::symbols::symbols_to_bits(&tx.received), bits);
+    }
+
+    #[test]
+    fn calibration_separation_exceeds_2k_cycles() {
+        let ch = IChannel::icc_thread_covert();
+        let cal = ch.calibrate(3);
+        assert!(
+            cal.min_separation_cycles() > 1800.0,
+            "separation = {}",
+            cal.min_separation_cycles()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires SMT")]
+    fn smt_channel_rejects_non_smt_platform() {
+        let mut cfg = ChannelConfig::default_cannon_lake();
+        cfg.soc = SocConfig::pinned(PlatformSpec::coffee_lake(), Freq::from_ghz(2.0));
+        let _ = IChannel::new(ChannelKind::Smt, cfg);
+    }
+
+    #[test]
+    fn channel_works_on_coffee_lake_cross_core() {
+        let mut cfg = ChannelConfig::default_cannon_lake();
+        cfg.soc = SocConfig::pinned(PlatformSpec::coffee_lake(), Freq::from_ghz(2.0));
+        let ch = IChannel::new(ChannelKind::Cores, cfg);
+        let cal = ch.calibrate(2);
+        let msg = [Symbol::new(0), Symbol::new(3), Symbol::new(2)];
+        let tx = ch.transmit_symbols(&msg, &cal);
+        assert_eq!(tx.received, msg);
+    }
+}

@@ -1,0 +1,194 @@
+//! Error detection and correction for noisy-channel operation.
+//!
+//! §6.3 lists "error detection and correction codes" among the noise
+//! mitigations ("used by several recent covert channel works"). Three
+//! schemes are provided: triple repetition (majority vote), Hamming(7,4)
+//! (single-bit correction per 4 data bits), and CRC-8 (detection only,
+//! for retransmission protocols).
+
+/// Triple-repetition code: each bit sent three times, decoded by
+/// majority vote. Corrects any single error per triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Repetition3;
+
+impl Repetition3 {
+    /// Encodes bits: each input bit becomes three channel bits.
+    pub fn encode(&self, bits: &[bool]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(bits.len() * 3);
+        for &b in bits {
+            out.extend_from_slice(&[b, b, b]);
+        }
+        out
+    }
+
+    /// Decodes by majority vote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length is not a multiple of 3.
+    pub fn decode(&self, bits: &[bool]) -> Vec<bool> {
+        assert!(bits.len() % 3 == 0, "repetition code length must be 3n");
+        bits.chunks(3)
+            .map(|c| (u8::from(c[0]) + u8::from(c[1]) + u8::from(c[2])) >= 2)
+            .collect()
+    }
+
+    /// Code rate (data bits per channel bit).
+    pub fn rate(&self) -> f64 {
+        1.0 / 3.0
+    }
+}
+
+/// Hamming(7,4): 4 data bits → 7 channel bits; corrects one error per
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hamming74;
+
+impl Hamming74 {
+    /// Encodes 4 data bits into a 7-bit codeword
+    /// `[p1, p2, d1, p3, d2, d3, d4]` (standard positions 1‥7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length is not a multiple of 4.
+    pub fn encode(&self, bits: &[bool]) -> Vec<bool> {
+        assert!(bits.len() % 4 == 0, "Hamming(7,4) input must be 4n bits");
+        let mut out = Vec::with_capacity(bits.len() / 4 * 7);
+        for d in bits.chunks(4) {
+            let (d1, d2, d3, d4) = (d[0], d[1], d[2], d[3]);
+            let p1 = d1 ^ d2 ^ d4;
+            let p2 = d1 ^ d3 ^ d4;
+            let p3 = d2 ^ d3 ^ d4;
+            out.extend_from_slice(&[p1, p2, d1, p3, d2, d3, d4]);
+        }
+        out
+    }
+
+    /// Decodes, correcting up to one error per 7-bit block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length is not a multiple of 7.
+    pub fn decode(&self, bits: &[bool]) -> Vec<bool> {
+        assert!(bits.len() % 7 == 0, "Hamming(7,4) input must be 7n bits");
+        let mut out = Vec::with_capacity(bits.len() / 7 * 4);
+        for c in bits.chunks(7) {
+            let mut w = [c[0], c[1], c[2], c[3], c[4], c[5], c[6]];
+            let s1 = w[0] ^ w[2] ^ w[4] ^ w[6];
+            let s2 = w[1] ^ w[2] ^ w[5] ^ w[6];
+            let s3 = w[3] ^ w[4] ^ w[5] ^ w[6];
+            let syndrome = (u8::from(s3) << 2) | (u8::from(s2) << 1) | u8::from(s1);
+            if syndrome != 0 {
+                w[(syndrome - 1) as usize] ^= true;
+            }
+            out.extend_from_slice(&[w[2], w[4], w[5], w[6]]);
+        }
+        out
+    }
+
+    /// Code rate.
+    pub fn rate(&self) -> f64 {
+        4.0 / 7.0
+    }
+}
+
+/// CRC-8 (polynomial 0x07, init 0) over bytes — error *detection* for
+/// retransmission-based protocols.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Frames a payload with its CRC-8; [`check_frame`] validates it.
+pub fn frame_with_crc(payload: &[u8]) -> Vec<u8> {
+    let mut out = payload.to_vec();
+    out.push(crc8(payload));
+    out
+}
+
+/// Checks a CRC-framed message, returning the payload if intact.
+pub fn check_frame(frame: &[u8]) -> Option<&[u8]> {
+    let (crc, payload) = frame.split_last()?;
+    if crc8(payload) == *crc {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repetition_corrects_single_flip() {
+        let data = [true, false, true, true];
+        let mut coded = Repetition3.encode(&data);
+        coded[4] ^= true; // one flip inside the second triple
+        assert_eq!(Repetition3.decode(&coded), data);
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_flip() {
+        let data = [true, false, false, true];
+        let clean = Hamming74.encode(&data);
+        for i in 0..7 {
+            let mut coded = clean.clone();
+            coded[i] ^= true;
+            assert_eq!(Hamming74.decode(&coded), data, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        let frame = frame_with_crc(b"secret key");
+        assert_eq!(check_frame(&frame), Some(&b"secret key"[..]));
+        let mut bad = frame.clone();
+        bad[3] ^= 0x10;
+        assert_eq!(check_frame(&bad), None);
+    }
+
+    #[test]
+    fn crc_known_vector() {
+        // CRC-8/SMBUS of "123456789" is 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn rates() {
+        assert!((Repetition3.rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((Hamming74.rate() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn repetition_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let coded = Repetition3.encode(&bits);
+            prop_assert_eq!(Repetition3.decode(&coded), bits);
+        }
+
+        #[test]
+        fn hamming_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+            prop_assume!(bits.len() % 4 == 0);
+            let coded = Hamming74.encode(&bits);
+            prop_assert_eq!(Hamming74.decode(&coded), bits);
+        }
+
+        #[test]
+        fn crc_framing_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let frame = frame_with_crc(&payload);
+            prop_assert_eq!(check_frame(&frame), Some(&payload[..]));
+        }
+    }
+}

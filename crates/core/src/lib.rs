@@ -1,0 +1,70 @@
+//! # `ichannels` — the IChannels covert channels (ISCA 2021)
+//!
+//! A full reproduction of *IChannels: Exploiting Current Management
+//! Mechanisms to Create Covert Channels in Modern Processors*
+//! (Haj-Yahya et al., ISCA 2021) on a simulated Intel-client SoC
+//! (`ichannels-soc`).
+//!
+//! The paper's three observations — multi-level throttling periods
+//! within a thread, SMT co-throttling through the shared IDQ gate, and
+//! cross-core serialization of voltage transitions — become three covert
+//! channels:
+//!
+//! * [`channel::ChannelKind::Thread`] — **IccThreadCovert**, two
+//!   execution contexts on the same hardware thread;
+//! * [`channel::ChannelKind::Smt`] — **IccSMTcovert**, across SMT
+//!   siblings;
+//! * [`channel::ChannelKind::Cores`] — **IccCoresCovert**, across
+//!   physical cores.
+//!
+//! Each transmits **2 bits per transaction** (four PHI intensity levels,
+//! Figure 3) at ~2.9 kb/s. Supporting modules:
+//!
+//! * [`symbols`] — the 2-bit symbol ↔ PHI-level coding;
+//! * [`ber`] — BER / capacity evaluation harness (§6.2, §6.3);
+//! * [`baselines`] — NetSpectre, TurboCC, DFScovert, POWERT comparators
+//!   (Figure 12, Table 2);
+//! * [`mitigations`] — the §7 mitigations and the Table 1 evaluation;
+//! * [`ecc`] — repetition/Hamming/CRC coding for noisy operation (§6.3);
+//! * [`attack`] — the §6.5 instruction-type inference side channel;
+//! * [`sync`] — §4.3.3 wall-clock synchronization with preamble-based
+//!   offset recovery;
+//! * [`extended`] — beyond the paper: 6/7-level modulation exploiting
+//!   all distinguishable throttling levels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ichannels::channel::IChannel;
+//! use ichannels::symbols::{bits_to_symbols, symbols_to_bits};
+//!
+//! // Exfiltrate one secret byte across SMT threads.
+//! let channel = IChannel::icc_smt_covert();
+//! let cal = channel.calibrate(3);
+//! let secret = [true, false, true, true, false, false, true, false];
+//! let tx = channel.transmit_bits(&secret, &cal);
+//! assert_eq!(symbols_to_bits(&tx.received), secret);
+//! assert!(tx.throughput_bps() > 2_500.0); // ~2.9 kb/s
+//! # let _ = bits_to_symbols(&secret);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod baselines;
+pub mod ber;
+pub mod channel;
+pub mod ecc;
+pub mod extended;
+pub mod mitigations;
+pub mod protocol;
+pub mod symbols;
+pub mod sync;
+
+pub use attack::{InstructionSpy, SpyPlacement};
+pub use ber::{evaluate, ChannelEval};
+pub use channel::{Calibration, ChannelConfig, ChannelKind, IChannel, Transmission};
+pub use mitigations::{Effectiveness, Mitigation};
+pub use extended::{LevelAlphabet, MultiLevelChannel};
+pub use protocol::{FramedLink, LinkStats};
+pub use symbols::Symbol;

@@ -1,0 +1,163 @@
+//! Symbol coding: two secret bits per communication transaction.
+//!
+//! Figure 3 of the paper: the sender picks one of four computational
+//! intensity levels based on `send_bits[i+1:i]` —
+//! `00 → 128b_Heavy (L4)`, `01 → 256b_Light (L3)`,
+//! `10 → 256b_Heavy (L2)`, `11 → 512b_Heavy (L1)`.
+
+use ichannels_uarch::isa::InstClass;
+
+/// A two-bit channel symbol (0‥=3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u8);
+
+impl Symbol {
+    /// All four symbols in order.
+    pub const ALL: [Symbol; 4] = [Symbol(0), Symbol(1), Symbol(2), Symbol(3)];
+
+    /// Creates a symbol from its two-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v > 3`.
+    pub fn new(v: u8) -> Self {
+        assert!(v <= 3, "symbol value {v} out of range");
+        Symbol(v)
+    }
+
+    /// The two-bit value.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// The bits `(msb, lsb)` = `send_bits[i+1:i]`.
+    pub const fn bits(self) -> (bool, bool) {
+        (self.0 & 0b10 != 0, self.0 & 0b01 != 0)
+    }
+
+    /// Builds a symbol from two bits `(msb, lsb)`.
+    pub fn from_bits(msb: bool, lsb: bool) -> Self {
+        Symbol((u8::from(msb) << 1) | u8::from(lsb))
+    }
+
+    /// The PHI class the sender executes for this symbol (Figure 3).
+    pub const fn sender_class(self) -> InstClass {
+        InstClass::SENDER_LEVELS[self.0 as usize]
+    }
+
+    /// Hamming distance between the two symbols' bit patterns (0‥=2).
+    pub const fn bit_errors_vs(self, other: Symbol) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.0 >> 1, self.0 & 1)
+    }
+}
+
+/// Packs a bit slice (big-endian within each pair: `[msb, lsb]`) into
+/// symbols.
+///
+/// # Panics
+///
+/// Panics if the bit count is odd.
+pub fn bits_to_symbols(bits: &[bool]) -> Vec<Symbol> {
+    assert!(bits.len() % 2 == 0, "bit count must be even");
+    bits.chunks(2)
+        .map(|p| Symbol::from_bits(p[0], p[1]))
+        .collect()
+}
+
+/// Unpacks symbols back into bits.
+pub fn symbols_to_bits(symbols: &[Symbol]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(symbols.len() * 2);
+    for s in symbols {
+        let (m, l) = s.bits();
+        out.push(m);
+        out.push(l);
+    }
+    out
+}
+
+/// Unpacks a byte slice into bits, MSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for b in bytes {
+        for k in (0..8).rev() {
+            out.push(b & (1 << k) != 0);
+        }
+    }
+    out
+}
+
+/// Packs bits (MSB first) into bytes; the tail is zero-padded.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|chunk| {
+            let mut b = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    b |= 1 << (7 - i);
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure3_mapping() {
+        assert_eq!(Symbol::new(0).sender_class(), InstClass::Heavy128); // L4
+        assert_eq!(Symbol::new(1).sender_class(), InstClass::Light256); // L3
+        assert_eq!(Symbol::new(2).sender_class(), InstClass::Heavy256); // L2
+        assert_eq!(Symbol::new(3).sender_class(), InstClass::Heavy512); // L1
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        for s in Symbol::ALL {
+            let (m, l) = s.bits();
+            assert_eq!(Symbol::from_bits(m, l), s);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Symbol::new(2).to_string(), "10");
+    }
+
+    #[test]
+    fn hamming() {
+        assert_eq!(Symbol::new(0).bit_errors_vs(Symbol::new(3)), 2);
+        assert_eq!(Symbol::new(1).bit_errors_vs(Symbol::new(3)), 1);
+        assert_eq!(Symbol::new(2).bit_errors_vs(Symbol::new(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid() {
+        let _ = Symbol::new(4);
+    }
+
+    proptest! {
+        #[test]
+        fn bits_symbols_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+            prop_assume!(bits.len() % 2 == 0);
+            let symbols = bits_to_symbols(&bits);
+            prop_assert_eq!(symbols_to_bits(&symbols), bits);
+        }
+
+        #[test]
+        fn bytes_bits_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let bits = bytes_to_bits(&bytes);
+            prop_assert_eq!(bits_to_bytes(&bits), bytes);
+        }
+    }
+}

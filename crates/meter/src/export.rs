@@ -1,0 +1,141 @@
+//! CSV export for regenerated figures/tables.
+//!
+//! Every benchmark harness writes its series to `results/*.csv` so the
+//! paper's plots can be regenerated with any plotting tool.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table destined for CSV.
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        CsvTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a row of floats, formatted with 6 significant digits.
+    pub fn push_floats<I: IntoIterator<Item = f64>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(|v| format!("{v:.6}")).collect();
+        self.push_row(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the CSV text (RFC-4180-style quoting of fields containing
+    /// commas, quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| field(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(out, "{}", render(&self.header));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render(row));
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the write.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_floats([0.5, 1.25]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,2");
+        assert_eq!(lines[2], "0.500000,1.250000");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn quotes_special_fields() {
+        let mut t = CsvTable::new(["x"]);
+        t.push_row(["hello, \"world\""]);
+        assert_eq!(t.to_csv().lines().nth(1).unwrap(), "\"hello, \"\"world\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("ichannels_csv_test");
+        let path = dir.join("t.csv");
+        let mut t = CsvTable::new(["v"]);
+        t.push_row(["42"]);
+        t.write_to(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("42"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,39 @@
+//! # `ichannels-meter` — measurement substrate
+//!
+//! The stand-in for the paper's NI-DAQ measurement infrastructure (§5.1)
+//! plus the statistics used throughout the evaluation.
+//!
+//! * [`daq`] — a simulated NI-PCIe-6376 card: 3.5 MS/s uniform sampling
+//!   of the SoC trace with 99.94 % accuracy noise.
+//! * [`stats`] — summaries, percentiles, histograms/PDFs (Figures 8(a),
+//!   11(a), 13), confusion matrices / BER / mutual information
+//!   (Figure 14, channel capacity).
+//! * [`series`] — time-series utilities (moving averages, automatic
+//!   step detection for the Figure 6 voltage staircase).
+//! * [`export`] — CSV tables for `results/*.csv`.
+//!
+//! # Example
+//!
+//! ```
+//! use ichannels_meter::stats::ConfusionMatrix;
+//!
+//! let mut m = ConfusionMatrix::new(4);
+//! for s in 0..4 {
+//!     m.record(s, s); // a perfect 2-bit channel
+//! }
+//! assert_eq!(m.bit_error_rate_2bit(), 0.0);
+//! assert!((m.mutual_information_bits() - 2.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod daq;
+pub mod export;
+pub mod series;
+pub mod stats;
+
+pub use daq::{Daq, DaqConfig, DaqSample};
+pub use export::CsvTable;
+pub use series::{Series, Step};
+pub use stats::{ConfusionMatrix, Histogram, Summary};

@@ -1,0 +1,116 @@
+//! The load-line (adaptive voltage positioning) model of paper §2.
+//!
+//! "Load-line or adaptive voltage positioning is a model that describes
+//! the voltage and current relationship under a given system impedance,
+//! denoted by RLL. … The voltage at the load is defined as
+//! `Vccload = Vcc – RLL · Icc`." RLL is typically 1.6–2.4 mΩ for recent
+//! client processors.
+
+/// A load-line with impedance `RLL` (milliohms).
+///
+/// # Examples
+///
+/// ```
+/// use ichannels_pdn::loadline::LoadLine;
+///
+/// let ll = LoadLine::new(1.9);
+/// // 20 A through 1.9 mΩ drops 38 mV at the load.
+/// assert!((ll.vccload_mv(1000.0, 20.0) - 962.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadLine {
+    rll_mohm: f64,
+}
+
+impl LoadLine {
+    /// Creates a load-line with the given impedance in milliohms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rll_mohm` is negative or not finite.
+    pub fn new(rll_mohm: f64) -> Self {
+        assert!(
+            rll_mohm.is_finite() && rll_mohm >= 0.0,
+            "invalid load-line impedance: {rll_mohm} mΩ"
+        );
+        LoadLine { rll_mohm }
+    }
+
+    /// Load-line impedance in milliohms.
+    pub fn rll_mohm(&self) -> f64 {
+        self.rll_mohm
+    }
+
+    /// Voltage drop across the load-line for a given current (mV).
+    pub fn drop_mv(&self, icc_a: f64) -> f64 {
+        icc_a * self.rll_mohm
+    }
+
+    /// Voltage at the load input: `Vccload = Vcc − RLL·Icc` (all mV / A).
+    pub fn vccload_mv(&self, vcc_mv: f64, icc_a: f64) -> f64 {
+        vcc_mv - self.drop_mv(icc_a)
+    }
+
+    /// The guardband (extra VR output voltage) needed so that the load
+    /// still sees `vccmin_mv` at current `icc_a`.
+    pub fn guardband_for_mv(&self, vccmin_mv: f64, icc_a: f64) -> f64 {
+        vccmin_mv + self.drop_mv(icc_a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_drop() {
+        let ll = LoadLine::new(2.0);
+        assert_eq!(ll.drop_mv(10.0), 20.0);
+        assert_eq!(ll.vccload_mv(800.0, 10.0), 780.0);
+    }
+
+    #[test]
+    fn zero_impedance_is_ideal() {
+        let ll = LoadLine::new(0.0);
+        assert_eq!(ll.vccload_mv(800.0, 100.0), 800.0);
+    }
+
+    #[test]
+    fn guardband_inverts_drop() {
+        let ll = LoadLine::new(1.6);
+        let gb = ll.guardband_for_mv(650.0, 30.0);
+        assert!((ll.vccload_mv(gb, 30.0) - 650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid load-line impedance")]
+    fn negative_impedance_panics() {
+        let _ = LoadLine::new(-1.0);
+    }
+
+    proptest! {
+        /// Paper §2: "the voltage at the load input (Vccload) decreases
+        /// when the load's current (Icc) increases."
+        #[test]
+        fn vccload_monotonically_decreasing_in_current(
+            rll in 0.1f64..5.0,
+            vcc in 500.0f64..1500.0,
+            i1 in 0.0f64..100.0,
+            delta in 0.01f64..50.0,
+        ) {
+            let ll = LoadLine::new(rll);
+            let i2 = i1 + delta;
+            prop_assert!(ll.vccload_mv(vcc, i2) < ll.vccload_mv(vcc, i1));
+        }
+
+        /// The drop is linear in current: superposition holds.
+        #[test]
+        fn drop_is_linear(rll in 0.1f64..5.0, a in 0.0f64..50.0, b in 0.0f64..50.0) {
+            let ll = LoadLine::new(rll);
+            let lhs = ll.drop_mv(a + b);
+            let rhs = ll.drop_mv(a) + ll.drop_mv(b);
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! The central power management unit.
+//!
+//! The central PMU owns the package voltage rails: it arbitrates per-core
+//! guardband licenses, computes the package voltage target (V/F base +
+//! the additive per-core guardbands of Equation 1), and schedules VR
+//! transitions over the serializing SVID interface. A core that raises
+//! its license is **throttled until its transition completes** — this is
+//! the throttling period (TP) every IChannels covert channel measures.
+//!
+//! Two of the paper's §7 mitigations live here as configuration:
+//! per-core VRs ([`PmuConfig::per_core_vr`]) remove the cross-core SVID
+//! serialization, and secure mode ([`PmuConfig::secure_mode`]) pins the
+//! worst-case guardband so no transitions (hence no throttling) ever
+//! happen.
+
+use crate::license::CoreLicense;
+use ichannels_pdn::guardband::GuardbandModel;
+use ichannels_pdn::regulator::VrModel;
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::{Freq, SimTime};
+
+/// One scheduled linear ramp of a voltage rail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Segment {
+    ramp_start: SimTime,
+    end: SimTime,
+    from_mv: f64,
+    to_mv: f64,
+}
+
+/// Maximum retained ramp history per rail; older segments are pruned
+/// (their final voltage is folded into the floor value).
+const MAX_SEGMENTS: usize = 4096;
+
+/// A voltage rail: a VR plus its serializing command interface, with the
+/// full piecewise-linear voltage timeline retained for tracing.
+#[derive(Debug, Clone)]
+pub struct VrRail {
+    model: VrModel,
+    free_at: SimTime,
+    setpoint_mv: f64,
+    segments: Vec<Segment>,
+}
+
+impl VrRail {
+    /// Creates a rail settled at `initial_mv`.
+    pub fn new(model: VrModel, initial_mv: f64) -> Self {
+        VrRail {
+            model,
+            free_at: SimTime::ZERO,
+            setpoint_mv: initial_mv,
+            segments: Vec::new(),
+        }
+    }
+
+    /// The VR's electrical model.
+    pub fn model(&self) -> &VrModel {
+        &self.model
+    }
+
+    /// Final setpoint (where the rail will settle after all scheduled
+    /// transitions complete).
+    pub fn setpoint_mv(&self) -> f64 {
+        self.setpoint_mv
+    }
+
+    /// Earliest instant a new transition could start.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// True if a transition is scheduled or in flight at `now`.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        now < self.free_at
+    }
+
+    /// Schedules a transition to `target_mv`, requested at `now`. The
+    /// transition queues behind any in-flight transition (SVID
+    /// serialization). Returns `(start, end)` of the transition window.
+    pub fn schedule(&mut self, now: SimTime, target_mv: f64) -> (SimTime, SimTime) {
+        let start = now.max(self.free_at);
+        let from = self.setpoint_mv;
+        let delta = (target_mv - from).abs();
+        let ramp_start = start + self.model.cmd_latency;
+        let end = ramp_start + self.model.ramp_time(delta);
+        self.segments.push(Segment {
+            ramp_start,
+            end,
+            from_mv: from,
+            to_mv: target_mv,
+        });
+        if self.segments.len() > MAX_SEGMENTS {
+            let drop = self.segments.len() - MAX_SEGMENTS;
+            self.segments.drain(..drop);
+        }
+        self.setpoint_mv = target_mv;
+        self.free_at = end;
+        (start, end)
+    }
+
+    /// Instantaneous rail voltage at `t`.
+    pub fn voltage_at(&self, t: SimTime) -> f64 {
+        // Find the last segment whose ramp has begun by `t`.
+        let idx = self.segments.partition_point(|s| s.ramp_start <= t);
+        if idx == 0 {
+            return match self.segments.first() {
+                // Before any retained ramp: the pre-history voltage.
+                Some(s) => s.from_mv,
+                None => self.setpoint_mv,
+            };
+        }
+        let s = &self.segments[idx - 1];
+        if t >= s.end {
+            s.to_mv
+        } else {
+            let frac = (t - s.ramp_start) / (s.end - s.ramp_start);
+            s.from_mv + (s.to_mv - s.from_mv) * frac
+        }
+    }
+}
+
+/// Configuration of the central PMU.
+#[derive(Debug, Clone)]
+pub struct PmuConfig {
+    /// Number of physical cores sharing the package.
+    pub n_cores: usize,
+    /// Guardband model (Equation 1 parameters).
+    pub guardband: GuardbandModel,
+    /// Voltage regulator electrical model.
+    pub vr_model: VrModel,
+    /// Hysteresis window (the paper's 650 µs reset-time).
+    pub reset_time: SimTime,
+    /// Mitigation: one VR per core instead of a single shared rail.
+    pub per_core_vr: bool,
+    /// Mitigation: pin the worst-case guardband (no transitions, no
+    /// throttling; costs static power).
+    pub secure_mode: bool,
+}
+
+/// Outcome of notifying the PMU that a core starts executing a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecGrant {
+    /// Instant at which the core may execute at full rate. Equal to the
+    /// notification time when no transition was needed; otherwise the end
+    /// of the voltage transition — the core is throttled until then.
+    pub ready_at: SimTime,
+    /// The `(start, end)` of the scheduled transition, if one was needed.
+    pub transition: Option<(SimTime, SimTime)>,
+}
+
+/// The central PMU state machine.
+///
+/// # Examples
+///
+/// ```
+/// use ichannels_pmu::central::{CentralPmu, PmuConfig};
+/// use ichannels_pdn::guardband::{CdynTable, GuardbandModel};
+/// use ichannels_pdn::regulator::VrModel;
+/// use ichannels_uarch::isa::InstClass;
+/// use ichannels_uarch::time::{Freq, SimTime};
+///
+/// let cfg = PmuConfig {
+///     n_cores: 2,
+///     guardband: GuardbandModel::new(CdynTable::default(), 1.9),
+///     vr_model: VrModel::mbvr(),
+///     reset_time: SimTime::from_us(650.0),
+///     per_core_vr: false,
+///     secure_mode: false,
+/// };
+/// let mut pmu = CentralPmu::new(cfg, Freq::from_ghz(1.4), 760.0);
+/// let g = pmu.on_execute(0, InstClass::Heavy512, SimTime::ZERO);
+/// // A 512b-Heavy license raise needs a voltage ramp → throttled for µs.
+/// assert!(g.ready_at.as_us() > 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentralPmu {
+    cfg: PmuConfig,
+    licenses: Vec<CoreLicense>,
+    rails: Vec<VrRail>,
+    base_mv: f64,
+    freq: Freq,
+}
+
+impl CentralPmu {
+    /// Creates the PMU at an initial operating point (`freq`, `base_mv`
+    /// from the V/F curve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero.
+    pub fn new(cfg: PmuConfig, freq: Freq, base_mv: f64) -> Self {
+        assert!(cfg.n_cores > 0, "PMU needs at least one core");
+        let n_rails = if cfg.per_core_vr { cfg.n_cores } else { 1 };
+        let initial_mv = if cfg.secure_mode {
+            // Secure mode: start (and stay) at the worst-case guardband.
+            let per_core = if cfg.per_core_vr { 1 } else { cfg.n_cores };
+            base_mv + cfg.guardband.secure_mode_guardband_mv(per_core, base_mv, freq)
+        } else {
+            base_mv
+        };
+        let rails = (0..n_rails)
+            .map(|_| VrRail::new(cfg.vr_model, initial_mv))
+            .collect();
+        let licenses = (0..cfg.n_cores)
+            .map(|_| CoreLicense::new(cfg.reset_time))
+            .collect();
+        CentralPmu {
+            cfg,
+            licenses,
+            rails,
+            base_mv,
+            freq,
+        }
+    }
+
+    /// PMU configuration.
+    pub fn config(&self) -> &PmuConfig {
+        &self.cfg
+    }
+
+    /// Current core clock frequency (shared clock domain).
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// Base (guardband-free) voltage of the current operating point.
+    pub fn base_mv(&self) -> f64 {
+        self.base_mv
+    }
+
+    fn rail_index(&self, core: usize) -> usize {
+        if self.cfg.per_core_vr {
+            core
+        } else {
+            0
+        }
+    }
+
+    /// The rail supplying `core` (read access, e.g. for tracing).
+    pub fn rail(&self, core: usize) -> &VrRail {
+        &self.rails[self.rail_index(core)]
+    }
+
+    /// Instantaneous supply voltage of `core` at `t`.
+    pub fn core_voltage_mv(&self, core: usize, t: SimTime) -> f64 {
+        self.rail(core).voltage_at(t)
+    }
+
+    /// Effective license level of `core` at `now`.
+    pub fn effective_level(&self, core: usize, now: SimTime) -> u8 {
+        self.licenses[core].effective_level(now)
+    }
+
+    /// The voltage target of the rail supplying `core`, given current
+    /// licenses at `now`.
+    fn target_mv(&self, rail_core: usize, now: SimTime) -> f64 {
+        if self.cfg.secure_mode {
+            let per_core = if self.cfg.per_core_vr {
+                1
+            } else {
+                self.cfg.n_cores
+            };
+            return self.base_mv
+                + self
+                    .cfg
+                    .guardband
+                    .secure_mode_guardband_mv(per_core, self.base_mv, self.freq);
+        }
+        let classes: Vec<Option<InstClass>> = if self.cfg.per_core_vr {
+            vec![Some(self.licenses[rail_core].effective_class(now))]
+        } else {
+            self.licenses
+                .iter()
+                .map(|l| Some(l.effective_class(now)))
+                .collect()
+        };
+        self.base_mv
+            + self
+                .cfg
+                .guardband
+                .package_guardband_mv(&classes, self.base_mv, self.freq)
+    }
+
+    /// Notifies the PMU that `core` starts executing a loop of `class`
+    /// instructions at `now`.
+    ///
+    /// If the class exceeds the core's effective license, the license is
+    /// raised and a voltage transition is scheduled; the returned grant
+    /// says when the core stops being throttled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn on_execute(&mut self, core: usize, class: InstClass, now: SimTime) -> ExecGrant {
+        assert!(core < self.cfg.n_cores, "core {core} out of range");
+        let current = self.licenses[core].effective_level(now);
+        let need = class.intensity_rank();
+        self.licenses[core].record_execution(class, now);
+        if self.cfg.secure_mode || need <= current {
+            return ExecGrant {
+                ready_at: now,
+                transition: None,
+            };
+        }
+        let rail_idx = self.rail_index(core);
+        let target = self.target_mv(core, now);
+        let (start, end) = self.rails[rail_idx].schedule(now, target);
+        ExecGrant {
+            ready_at: end,
+            transition: Some((start, end)),
+        }
+    }
+
+    /// The next instant at which any core's license decays, if any.
+    pub fn next_decay(&self, now: SimTime) -> Option<SimTime> {
+        self.licenses
+            .iter()
+            .filter_map(|l| l.next_decay(now))
+            .min()
+    }
+
+    /// Processes license decays at `now`: recomputes rail targets and
+    /// schedules the (non-throttling) ramp-downs. Returns `true` if any
+    /// rail was retargeted.
+    pub fn process_decays(&mut self, now: SimTime) -> bool {
+        if self.cfg.secure_mode {
+            return false;
+        }
+        let mut changed = false;
+        let rail_count = self.rails.len();
+        for rail_idx in 0..rail_count {
+            let target = self.target_mv(rail_idx, now);
+            if (target - self.rails[rail_idx].setpoint_mv()).abs() > 1e-9 {
+                self.rails[rail_idx].schedule(now, target);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Switches the package operating point (P-state change): updates
+    /// frequency and base voltage and retargets every rail.
+    pub fn set_operating_point(&mut self, now: SimTime, freq: Freq, base_mv: f64) {
+        self.freq = freq;
+        self.base_mv = base_mv;
+        let rail_count = self.rails.len();
+        for rail_idx in 0..rail_count {
+            let target = self.target_mv(rail_idx, now);
+            self.rails[rail_idx].schedule(now, target);
+        }
+    }
+
+    /// The final setpoint of the (first) rail — the package voltage once
+    /// all scheduled transitions settle.
+    pub fn package_setpoint_mv(&self) -> f64 {
+        self.rails[0].setpoint_mv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ichannels_pdn::guardband::CdynTable;
+
+    fn cfg() -> PmuConfig {
+        PmuConfig {
+            n_cores: 2,
+            guardband: GuardbandModel::new(CdynTable::default(), 1.9),
+            vr_model: VrModel::mbvr(),
+            reset_time: SimTime::from_us(650.0),
+            per_core_vr: false,
+            secure_mode: false,
+        }
+    }
+
+    fn pmu() -> CentralPmu {
+        CentralPmu::new(cfg(), Freq::from_ghz(1.4), 760.0)
+    }
+
+    #[test]
+    fn scalar_execution_never_throttles() {
+        let mut p = pmu();
+        let g = p.on_execute(0, InstClass::Scalar64, SimTime::ZERO);
+        assert_eq!(g.ready_at, SimTime::ZERO);
+        assert!(g.transition.is_none());
+    }
+
+    #[test]
+    fn phi_triggers_multi_microsecond_throttle() {
+        let mut p = pmu();
+        let g = p.on_execute(0, InstClass::Heavy512, SimTime::ZERO);
+        let tp = g.ready_at.as_us();
+        assert!((5.0..20.0).contains(&tp), "TP = {tp} µs");
+    }
+
+    #[test]
+    fn tp_is_multi_level_in_preceding_class() {
+        // Figure 10(b): the TP of a 512b-Heavy loop depends on which
+        // class ran before it — lower preceding intensity ⇒ longer TP.
+        let mut tps = Vec::new();
+        for prev in InstClass::ALL {
+            let mut p = pmu();
+            let g0 = p.on_execute(0, prev, SimTime::ZERO);
+            // Run the 512b-Heavy loop right after the first settles.
+            let t1 = g0.ready_at + SimTime::from_us(1.0);
+            let g1 = p.on_execute(0, InstClass::Heavy512, t1);
+            tps.push((g1.ready_at.saturating_sub(t1)).as_us());
+        }
+        // Monotone non-increasing with preceding intensity; 512b-Heavy
+        // preceding ⇒ no further transition at all.
+        for w in tps.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "tps = {tps:?}");
+        }
+        assert_eq!(*tps.last().unwrap(), 0.0);
+        // At least 5 distinct levels (Key Conclusion 4).
+        let mut distinct: Vec<f64> = Vec::new();
+        for tp in &tps {
+            if !distinct.iter().any(|d| (d - tp).abs() < 0.3) {
+                distinct.push(*tp);
+            }
+        }
+        assert!(distinct.len() >= 5, "levels: {tps:?}");
+    }
+
+    #[test]
+    fn same_license_is_free_within_reset_time() {
+        let mut p = pmu();
+        let g0 = p.on_execute(0, InstClass::Heavy256, SimTime::ZERO);
+        let t1 = g0.ready_at + SimTime::from_us(10.0);
+        let g1 = p.on_execute(0, InstClass::Heavy256, t1);
+        assert_eq!(g1.ready_at, t1);
+    }
+
+    #[test]
+    fn license_decays_after_reset_time() {
+        let mut p = pmu();
+        let g0 = p.on_execute(0, InstClass::Heavy256, SimTime::ZERO);
+        assert!(p.effective_level(0, g0.ready_at) > 0);
+        let after = SimTime::from_us(651.0);
+        assert_eq!(p.effective_level(0, after), 0);
+        assert!(p.process_decays(after));
+        // Re-execution needs a fresh ramp → throttled again.
+        let t2 = SimTime::from_us(700.0);
+        let g2 = p.on_execute(0, InstClass::Heavy256, t2);
+        assert!(g2.ready_at > t2);
+    }
+
+    #[test]
+    fn cross_core_requests_serialize_on_shared_rail() {
+        // Observation 3: core 1's transition waits for core 0's.
+        let mut p = pmu();
+        let g0 = p.on_execute(0, InstClass::Heavy512, SimTime::ZERO);
+        let t1 = SimTime::from_us(0.2); // within a few hundred cycles
+        let g1 = p.on_execute(1, InstClass::Heavy128, t1);
+        let (start1, _) = g1.transition.unwrap();
+        assert_eq!(start1, g0.ready_at, "core1 must queue behind core0");
+        assert!(g1.ready_at > g0.ready_at);
+    }
+
+    #[test]
+    fn per_core_vr_removes_cross_core_serialization() {
+        let mut c = cfg();
+        c.per_core_vr = true;
+        c.vr_model = VrModel::ldo();
+        let mut p = CentralPmu::new(c, Freq::from_ghz(1.4), 760.0);
+        let _g0 = p.on_execute(0, InstClass::Heavy512, SimTime::ZERO);
+        let t1 = SimTime::from_us(0.2);
+        let g1 = p.on_execute(1, InstClass::Heavy128, t1);
+        let (start1, _) = g1.transition.unwrap();
+        assert_eq!(start1, t1, "per-core VR must not queue behind core 0");
+        // And the LDO transition is sub-µs (§7: < 0.5 µs).
+        assert!((g1.ready_at - t1).as_us() < 0.5);
+    }
+
+    #[test]
+    fn secure_mode_never_throttles() {
+        let mut c = cfg();
+        c.secure_mode = true;
+        let mut p = CentralPmu::new(c, Freq::from_ghz(1.4), 760.0);
+        for class in InstClass::ALL {
+            let g = p.on_execute(0, class, SimTime::from_us(1.0));
+            assert_eq!(g.ready_at, SimTime::from_us(1.0), "class {class}");
+        }
+        // Voltage sits at the worst-case guardband.
+        let v = p.core_voltage_mv(0, SimTime::ZERO);
+        assert!(v > 760.0);
+        assert!(!p.process_decays(SimTime::from_ms(10.0)));
+    }
+
+    #[test]
+    fn two_phi_cores_raise_voltage_in_two_steps() {
+        // Figure 6(a): two cores running AVX2 → two voltage steps. The
+        // second step is the per-core share only (the shared max-license
+        // component was already paid by the first core).
+        let mut p = pmu();
+        let g0 = p.on_execute(0, InstClass::Heavy256, SimTime::ZERO);
+        let v1 = p.package_setpoint_mv();
+        let _ = p.on_execute(1, InstClass::Heavy256, g0.ready_at + SimTime::from_us(5.0));
+        let v2 = p.package_setpoint_mv();
+        let step1 = v1 - 760.0;
+        let step2 = v2 - v1;
+        assert!(step1 > 2.0 && step2 > 2.0, "steps {step1} / {step2}");
+        assert!(step2 <= step1, "steps {step1} / {step2}");
+        assert!(step2 > step1 * 0.5, "steps {step1} / {step2}");
+    }
+
+    #[test]
+    fn rail_voltage_timeline_is_piecewise_linear() {
+        let mut rail = VrRail::new(VrModel::mbvr(), 700.0);
+        let (_s, e) = rail.schedule(SimTime::ZERO, 724.0);
+        assert_eq!(rail.voltage_at(SimTime::ZERO), 700.0);
+        assert_eq!(rail.voltage_at(e), 724.0);
+        let mid = SimTime::from_us(1.2) + (e - SimTime::from_us(1.2)).scale(0.5);
+        assert!((rail.voltage_at(mid) - 712.0).abs() < 0.05);
+        // A second scheduled ramp queues after the first.
+        let (s2, e2) = rail.schedule(SimTime::from_us(2.0), 700.0);
+        assert_eq!(s2, e);
+        assert_eq!(rail.voltage_at(e2), 700.0);
+    }
+
+    #[test]
+    fn operating_point_change_retargets_rail() {
+        let mut p = pmu();
+        p.set_operating_point(SimTime::ZERO, Freq::from_ghz(2.2), 900.0);
+        assert_eq!(p.freq(), Freq::from_ghz(2.2));
+        let settle = SimTime::from_ms(1.0);
+        assert!((p.core_voltage_mv(0, settle) - 900.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,141 @@
+//! Software-level CPU frequency governors.
+//!
+//! §5.7 of the paper checks whether software power-management policies
+//! affect the throttling mechanisms and finds they do not: "the
+//! underlying mechanism of IChannels persists across all three policies"
+//! (userspace, powersave, performance), because hardware throttling is
+//! implemented inside the core for ns-scale response. The governors are
+//! still needed as workload context — DFScovert (a baseline we compare
+//! against) communicates *through* them.
+
+use crate::pstate::PStateTable;
+use ichannels_uarch::time::{Freq, SimTime};
+
+/// A Linux-style CPU frequency governor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Governor {
+    /// Pin the frequency to a user-chosen value (the paper's fixed-2 GHz
+    /// experiments, Figure 6).
+    Userspace(Freq),
+    /// Always run at the lowest P-state.
+    Powersave,
+    /// Always request the highest P-state (turbo); the hardware limit
+    /// mechanisms may still cap it.
+    Performance,
+    /// Demand-driven: high load ⇒ max frequency, low load ⇒ min, with a
+    /// sampling period (the DFScovert channel modulates exactly this).
+    Ondemand {
+        /// Governor sampling period (Linux default ~10 ms).
+        sampling_period: SimTime,
+        /// Load threshold ∈ [0,1] above which the governor jumps to max.
+        up_threshold: f64,
+    },
+}
+
+impl Governor {
+    /// The standard ondemand configuration.
+    pub fn ondemand_default() -> Self {
+        Governor::Ondemand {
+            sampling_period: SimTime::from_ms(10.0),
+            up_threshold: 0.8,
+        }
+    }
+
+    /// The frequency this governor requests, given the P-state table and
+    /// the measured load ∈ [0,1] over the last sampling period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is outside [0,1].
+    pub fn requested_freq(&self, table: &PStateTable, load: f64) -> Freq {
+        assert!((0.0..=1.0).contains(&load), "load must be in [0,1]: {load}");
+        match self {
+            Governor::Userspace(f) => table.highest_not_above(*f),
+            Governor::Powersave => table.min(),
+            Governor::Performance => table.max(),
+            Governor::Ondemand { up_threshold, .. } => {
+                if load >= *up_threshold {
+                    table.max()
+                } else {
+                    // Proportional scaling, snapped down to a real P-state.
+                    let span = table.max().as_hz() - table.min().as_hz();
+                    let f = table.min().as_hz() as f64 + span as f64 * (load / up_threshold);
+                    table.highest_not_above(Freq::from_hz(f as u64))
+                }
+            }
+        }
+    }
+
+    /// Sampling period after which the governor re-evaluates (None for
+    /// static policies).
+    pub fn sampling_period(&self) -> Option<SimTime> {
+        match self {
+            Governor::Ondemand {
+                sampling_period, ..
+            } => Some(*sampling_period),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PStateTable {
+        PStateTable::new(
+            vec![
+                Freq::from_ghz(3.6),
+                Freq::from_ghz(3.0),
+                Freq::from_ghz(2.0),
+                Freq::from_ghz(1.0),
+            ],
+            SimTime::from_us(12.0),
+        )
+    }
+
+    #[test]
+    fn userspace_pins_frequency() {
+        let g = Governor::Userspace(Freq::from_ghz(2.0));
+        assert_eq!(g.requested_freq(&table(), 1.0), Freq::from_ghz(2.0));
+        assert_eq!(g.requested_freq(&table(), 0.0), Freq::from_ghz(2.0));
+    }
+
+    #[test]
+    fn powersave_and_performance() {
+        assert_eq!(
+            Governor::Powersave.requested_freq(&table(), 1.0),
+            Freq::from_ghz(1.0)
+        );
+        assert_eq!(
+            Governor::Performance.requested_freq(&table(), 0.0),
+            Freq::from_ghz(3.6)
+        );
+    }
+
+    #[test]
+    fn ondemand_tracks_load() {
+        let g = Governor::ondemand_default();
+        let t = table();
+        assert_eq!(g.requested_freq(&t, 1.0), Freq::from_ghz(3.6));
+        assert_eq!(g.requested_freq(&t, 0.9), Freq::from_ghz(3.6));
+        let mid = g.requested_freq(&t, 0.4);
+        assert!(mid < Freq::from_ghz(3.6) && mid >= Freq::from_ghz(1.0));
+        assert_eq!(g.requested_freq(&t, 0.0), Freq::from_ghz(1.0));
+    }
+
+    #[test]
+    fn sampling_period() {
+        assert!(Governor::Performance.sampling_period().is_none());
+        assert_eq!(
+            Governor::ondemand_default().sampling_period(),
+            Some(SimTime::from_ms(10.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn load_validated() {
+        let _ = Governor::Performance.requested_freq(&table(), 1.5);
+    }
+}

@@ -1,0 +1,50 @@
+//! # `ichannels-soc` — event-driven SoC simulator
+//!
+//! The integration layer of the IChannels (ISCA 2021) reproduction: a
+//! multi-core Intel-client-style SoC with
+//!
+//! * per-core pipelines using the analytic IPC/throttle model
+//!   (`ichannels-uarch`), including SMT hardware threads;
+//! * the central PMU, guardband licenses with 650 µs hysteresis, and
+//!   serialized VR transitions (`ichannels-pmu` / `ichannels-pdn`);
+//! * turbo licenses, P-states with Vccmax/Iccmax protection, an RC
+//!   thermal model, and software governors;
+//! * AVX power-gates with ns-scale staggered wake;
+//! * Poisson OS noise (interrupts, context switches);
+//! * a NI-DAQ-style trace of voltage/current/frequency/temperature.
+//!
+//! Programs ([`program::Program`]) are pinned to hardware threads and
+//! drive the simulation; covert channel senders and receivers are just
+//! programs that time their own loops with `rdtsc`.
+//!
+//! # Example
+//!
+//! ```
+//! use ichannels_soc::config::{PlatformSpec, SocConfig};
+//! use ichannels_soc::program::Script;
+//! use ichannels_soc::sim::Soc;
+//! use ichannels_uarch::isa::InstClass;
+//! use ichannels_uarch::time::{Freq, SimTime};
+//!
+//! // Cannon Lake pinned at 1.4 GHz (the Figure 10 setup).
+//! let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4));
+//! let mut soc = Soc::new(cfg);
+//! soc.spawn(0, 0, Box::new(Script::run_loop(InstClass::Heavy512, 14_000)));
+//! let end = soc.run_until_idle(SimTime::from_ms(1.0));
+//! assert!(end.as_us() > 15.0); // the multi-µs throttling period
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod noise;
+pub mod program;
+pub mod sim;
+pub mod trace;
+
+pub use config::{PlatformSpec, SocConfig, TraceConfig};
+pub use noise::{NoiseConfig, NoiseKind};
+pub use program::{Action, FnProgram, ProgCtx, Program, Script};
+pub use sim::Soc;
+pub use trace::{Sample, Trace};

@@ -1,0 +1,196 @@
+//! Software programs: the code that runs on simulated hardware threads.
+//!
+//! A [`Program`] is a state machine the simulator drives: at every action
+//! boundary the simulator calls [`Program::next`] with the current
+//! `rdtsc` value and the program returns its next [`Action`]. Covert
+//! channel senders/receivers, micro-benchmarks, and noise applications
+//! are all `Program`s; the timing a receiver observes between two `next`
+//! calls *is* its measurement (the `start = rdtsc; loop; tp = rdtsc −
+//! start` pattern of Figure 3).
+
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::SimTime;
+
+/// What a program asks the hardware thread to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Execute a tight loop: `instructions` instructions of `class`.
+    Run {
+        /// Instruction class of the loop body.
+        class: InstClass,
+        /// Number of dynamic instructions to retire.
+        instructions: u64,
+    },
+    /// Busy-wait (`rdtsc` spin) until the TSC reaches the given value —
+    /// the wall-clock synchronization of §4.3.3.
+    WaitUntilTsc(u64),
+    /// Idle (sleep) for a fixed duration.
+    SleepFor(SimTime),
+    /// Terminate the program.
+    Halt,
+}
+
+/// Context passed to [`Program::next`] at each action boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgCtx {
+    /// Current simulated instant.
+    pub now: SimTime,
+    /// Current `rdtsc` value.
+    pub tsc: u64,
+    /// Physical core index this program is pinned to.
+    pub core: usize,
+    /// SMT hardware-thread index on that core (0 or 1).
+    pub smt: usize,
+}
+
+/// A software thread, driven by the simulator.
+///
+/// Implementors typically record `ctx.tsc` across a `Run` action to
+/// measure its duration — exactly how the IChannels receiver measures
+/// its throttling period.
+pub trait Program {
+    /// Returns the next action. Called once at spawn and then at every
+    /// action boundary.
+    fn next(&mut self, ctx: &ProgCtx) -> Action;
+
+    /// Short label for traces and debugging.
+    fn name(&self) -> &str {
+        "program"
+    }
+}
+
+impl std::fmt::Debug for dyn Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Program({})", self.name())
+    }
+}
+
+/// A program built from a fixed list of actions (runs them in order,
+/// then halts). Handy for tests and simple workloads.
+#[derive(Debug, Clone)]
+pub struct Script {
+    actions: std::vec::IntoIter<Action>,
+    label: String,
+}
+
+impl Script {
+    /// Creates a script that performs `actions` in order, then halts.
+    pub fn new(actions: Vec<Action>, label: impl Into<String>) -> Self {
+        Script {
+            actions: actions.into_iter(),
+            label: label.into(),
+        }
+    }
+
+    /// A single `Run` loop.
+    pub fn run_loop(class: InstClass, instructions: u64) -> Self {
+        Script::new(
+            vec![Action::Run {
+                class,
+                instructions,
+            }],
+            format!("{class} loop"),
+        )
+    }
+}
+
+impl Program for Script {
+    fn next(&mut self, _ctx: &ProgCtx) -> Action {
+        self.actions.next().unwrap_or(Action::Halt)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A program that calls a closure for each action — the quickest way to
+/// write ad-hoc measurement programs.
+pub struct FnProgram<F> {
+    f: F,
+    label: String,
+}
+
+impl<F> FnProgram<F>
+where
+    F: FnMut(&ProgCtx) -> Action,
+{
+    /// Wraps a closure as a program.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        FnProgram {
+            f,
+            label: label.into(),
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for FnProgram<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnProgram({})", self.label)
+    }
+}
+
+impl<F> Program for FnProgram<F>
+where
+    F: FnMut(&ProgCtx) -> Action,
+{
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        (self.f)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ProgCtx {
+        ProgCtx {
+            now: SimTime::ZERO,
+            tsc: 0,
+            core: 0,
+            smt: 0,
+        }
+    }
+
+    #[test]
+    fn script_plays_in_order_then_halts() {
+        let mut s = Script::new(
+            vec![
+                Action::Run {
+                    class: InstClass::Heavy256,
+                    instructions: 100,
+                },
+                Action::SleepFor(SimTime::from_us(1.0)),
+            ],
+            "test",
+        );
+        assert!(matches!(s.next(&ctx()), Action::Run { .. }));
+        assert!(matches!(s.next(&ctx()), Action::SleepFor(_)));
+        assert_eq!(s.next(&ctx()), Action::Halt);
+        assert_eq!(s.next(&ctx()), Action::Halt);
+    }
+
+    #[test]
+    fn fn_program_sees_ctx() {
+        let mut calls = 0;
+        {
+            let mut p = FnProgram::new("counter", |c: &ProgCtx| {
+                calls += 1;
+                assert_eq!(c.core, 0);
+                Action::Halt
+            });
+            let _ = p.next(&ctx());
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn run_loop_label() {
+        let s = Script::run_loop(InstClass::Heavy512, 1000);
+        assert_eq!(s.name(), "512b Heavy loop");
+    }
+}

@@ -1,0 +1,254 @@
+//! Synthetic concurrent applications (paper §6.3).
+//!
+//! Two noise applications shape the Figure 14(b,c) experiments:
+//!
+//! * [`RandomPhiApp`] — "App injects PHIs with a random power level (from
+//!   the four levels) using different rates (10–10,000 App-PHIs per
+//!   second)";
+//! * [`SevenZipApp`] — a 7-zip-like compressor "which uses AVX2
+//!   instructions but not AVX-512", issuing AVX2 bursts amid scalar work.
+
+use ichannels_soc::program::{Action, ProgCtx, Program};
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An application that injects PHI bursts of a random level at a Poisson
+/// rate, running forever (until the simulation stops looking at it).
+#[derive(Debug)]
+pub struct RandomPhiApp {
+    rate_hz: f64,
+    burst_insts: u64,
+    levels: Vec<InstClass>,
+    rng: SmallRng,
+    deadline: SimTime,
+    bursting: bool,
+}
+
+impl RandomPhiApp {
+    /// Creates the injector: bursts of `burst_insts` instructions, level
+    /// drawn uniformly from `levels`, arrivals at `rate_hz`, halting at
+    /// `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or `rate_hz` is not positive.
+    pub fn new(
+        rate_hz: f64,
+        burst_insts: u64,
+        levels: Vec<InstClass>,
+        deadline: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(!levels.is_empty(), "need at least one PHI level");
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "rate must be positive: {rate_hz}"
+        );
+        RandomPhiApp {
+            rate_hz,
+            burst_insts,
+            levels,
+            rng: SmallRng::seed_from_u64(seed),
+            deadline,
+            bursting: false,
+        }
+    }
+
+    /// The four IChannels sender levels as the injection alphabet.
+    pub fn sender_levels(rate_hz: f64, burst_insts: u64, deadline: SimTime, seed: u64) -> Self {
+        RandomPhiApp::new(
+            rate_hz,
+            burst_insts,
+            InstClass::SENDER_LEVELS.to_vec(),
+            deadline,
+            seed,
+        )
+    }
+}
+
+impl Program for RandomPhiApp {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        if ctx.now >= self.deadline {
+            return Action::Halt;
+        }
+        if self.bursting {
+            // Burst finished: sleep an exponential gap.
+            self.bursting = false;
+            let u: f64 = self.rng.gen_range(1e-12..1.0);
+            let gap_s = -u.ln() / self.rate_hz;
+            Action::SleepFor(SimTime::from_secs(gap_s))
+        } else {
+            self.bursting = true;
+            let class = self.levels[self.rng.gen_range(0..self.levels.len())];
+            Action::Run {
+                class,
+                instructions: self.burst_insts,
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "random-PHI app"
+    }
+}
+
+/// A 7-zip-like application: sustained scalar work with periodic AVX2
+/// (256b-Heavy) match-finder bursts; never touches AVX-512.
+#[derive(Debug)]
+pub struct SevenZipApp {
+    avx2_burst_rate_hz: f64,
+    burst_insts: u64,
+    scalar_insts: u64,
+    rng: SmallRng,
+    deadline: SimTime,
+    state: u8,
+}
+
+impl SevenZipApp {
+    /// Creates the app: scalar blocks of `scalar_insts`, with AVX2 bursts
+    /// of `burst_insts` arriving at `avx2_burst_rate_hz`.
+    pub fn new(
+        avx2_burst_rate_hz: f64,
+        burst_insts: u64,
+        scalar_insts: u64,
+        deadline: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            avx2_burst_rate_hz.is_finite() && avx2_burst_rate_hz > 0.0,
+            "rate must be positive"
+        );
+        SevenZipApp {
+            avx2_burst_rate_hz,
+            burst_insts,
+            scalar_insts,
+            rng: SmallRng::seed_from_u64(seed),
+            deadline,
+            state: 0,
+        }
+    }
+
+    /// Typical configuration used by the §6.3 experiment: ~50 AVX2
+    /// bursts per second.
+    pub fn typical(deadline: SimTime, seed: u64) -> Self {
+        SevenZipApp::new(50.0, 20_000, 100_000, deadline, seed)
+    }
+}
+
+impl Program for SevenZipApp {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        if ctx.now >= self.deadline {
+            return Action::Halt;
+        }
+        match self.state {
+            // Scalar work.
+            0 => {
+                self.state = 1;
+                Action::Run {
+                    class: InstClass::Scalar64,
+                    instructions: self.scalar_insts,
+                }
+            }
+            // Wait for the next burst arrival.
+            1 => {
+                self.state = 2;
+                let u: f64 = self.rng.gen_range(1e-12..1.0);
+                let gap_s = -u.ln() / self.avx2_burst_rate_hz;
+                Action::SleepFor(SimTime::from_secs(gap_s))
+            }
+            // AVX2 burst (never AVX-512).
+            _ => {
+                self.state = 0;
+                Action::Run {
+                    class: InstClass::Heavy256,
+                    instructions: self.burst_insts,
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "7-zip-like app"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ichannels_soc::config::{PlatformSpec, SocConfig};
+    use ichannels_soc::sim::Soc;
+    use ichannels_uarch::time::Freq;
+
+    #[test]
+    fn random_phi_app_halts_at_deadline() {
+        let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4));
+        let mut soc = Soc::new(cfg);
+        soc.spawn(
+            0,
+            0,
+            Box::new(RandomPhiApp::sender_levels(
+                1000.0,
+                5_000,
+                SimTime::from_ms(5.0),
+                42,
+            )),
+        );
+        let end = soc.run_until_idle(SimTime::from_ms(50.0));
+        assert!(end >= SimTime::from_ms(5.0));
+        assert!(end < SimTime::from_ms(7.0), "end = {end}");
+        assert!(soc.inst_retired(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn random_phi_app_raises_package_voltage() {
+        let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4));
+        let mut soc = Soc::new(cfg);
+        let v0 = soc.vcc_mv();
+        soc.spawn(
+            1,
+            0,
+            Box::new(RandomPhiApp::sender_levels(
+                5_000.0,
+                10_000,
+                SimTime::from_ms(3.0),
+                7,
+            )),
+        );
+        soc.run_until(SimTime::from_ms(1.0));
+        assert!(soc.pmu().package_setpoint_mv() > v0 + 2.0);
+    }
+
+    #[test]
+    fn seven_zip_never_uses_avx512() {
+        // Structural check: the app's alphabet is {Scalar64, Heavy256}.
+        let mut app = SevenZipApp::typical(SimTime::from_secs(1.0), 3);
+        let ctx = ProgCtx {
+            now: SimTime::ZERO,
+            tsc: 0,
+            core: 0,
+            smt: 0,
+        };
+        for _ in 0..100 {
+            if let Action::Run { class, .. } = app.next(&ctx) {
+                assert!(
+                    class == InstClass::Scalar64 || class == InstClass::Heavy256,
+                    "unexpected class {class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = RandomPhiApp::new(
+            0.0,
+            1,
+            vec![InstClass::Heavy256],
+            SimTime::from_ms(1.0),
+            1,
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! Agner-Fog-style measured instruction loops (paper §5.1).
+//!
+//! The paper's characterization "customize[s] multiple micro-benchmarks
+//! of the Agner Fog measurement library": tight register-only loops of a
+//! chosen instruction class, timed with `rdtsc`. [`MeasuredLoop`] is that
+//! micro-benchmark as a simulator [`Program`]: it runs a loop `reps`
+//! times (with an optional gap between repetitions) and records each
+//! repetition's duration in TSC cycles.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ichannels_soc::program::{Action, ProgCtx, Program};
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::SimTime;
+use ichannels_uarch::tsc::Tsc;
+
+/// Shared recording of loop durations (TSC cycles), cloneable across the
+/// program and the measuring harness.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Rc<RefCell<Vec<u64>>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Appends a measurement.
+    pub fn push(&self, tsc_cycles: u64) {
+        self.inner.borrow_mut().push(tsc_cycles);
+    }
+
+    /// Snapshot of all measurements.
+    pub fn values(&self) -> Vec<u64> {
+        self.inner.borrow().clone()
+    }
+
+    /// Number of measurements so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Measurements converted to microseconds via the TSC frequency.
+    pub fn durations_us(&self, tsc: &Tsc) -> Vec<f64> {
+        self.inner
+            .borrow()
+            .iter()
+            .map(|&c| tsc.cycles_to_duration(c).as_us())
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopState {
+    /// About to issue repetition `i`.
+    Issue(u32),
+    /// Repetition `i` is running; started at the given TSC value.
+    Timing(u32, u64),
+    /// Sleeping the inter-repetition gap before repetition `i`.
+    Gap(u32),
+    /// All repetitions done.
+    Done,
+}
+
+/// A measured instruction loop: `reps` repetitions of `instructions`
+/// instructions of `class`, with `gap` idle time between repetitions,
+/// each repetition's duration recorded in TSC cycles.
+///
+/// # Examples
+///
+/// ```
+/// use ichannels_soc::config::{PlatformSpec, SocConfig};
+/// use ichannels_soc::sim::Soc;
+/// use ichannels_uarch::isa::InstClass;
+/// use ichannels_uarch::time::{Freq, SimTime};
+/// use ichannels_workload::loops::{MeasuredLoop, Recorder};
+///
+/// let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4));
+/// let mut soc = Soc::new(cfg);
+/// let rec = Recorder::new();
+/// soc.spawn(0, 0, Box::new(MeasuredLoop::new(InstClass::Heavy256, 14_000, 3, SimTime::from_us(700.0), rec.clone())));
+/// soc.run_until_idle(SimTime::from_ms(10.0));
+/// assert_eq!(rec.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct MeasuredLoop {
+    class: InstClass,
+    instructions: u64,
+    reps: u32,
+    gap: SimTime,
+    recorder: Recorder,
+    state: LoopState,
+    label: String,
+}
+
+impl MeasuredLoop {
+    /// Creates a measured loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` or `reps` is zero.
+    pub fn new(
+        class: InstClass,
+        instructions: u64,
+        reps: u32,
+        gap: SimTime,
+        recorder: Recorder,
+    ) -> Self {
+        assert!(instructions > 0, "loop needs at least one instruction");
+        assert!(reps > 0, "loop needs at least one repetition");
+        MeasuredLoop {
+            class,
+            instructions,
+            reps,
+            gap,
+            recorder,
+            state: LoopState::Issue(0),
+            label: format!("measured {class} x{reps}"),
+        }
+    }
+
+    /// Single-shot measured loop (one repetition, no gap).
+    pub fn once(class: InstClass, instructions: u64, recorder: Recorder) -> Self {
+        MeasuredLoop::new(class, instructions, 1, SimTime::ZERO, recorder)
+    }
+}
+
+impl Program for MeasuredLoop {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        loop {
+            match self.state {
+                LoopState::Issue(i) => {
+                    self.state = LoopState::Timing(i, ctx.tsc);
+                    return Action::Run {
+                        class: self.class,
+                        instructions: self.instructions,
+                    };
+                }
+                LoopState::Timing(i, start) => {
+                    self.recorder.push(ctx.tsc.saturating_sub(start));
+                    if i + 1 >= self.reps {
+                        self.state = LoopState::Done;
+                    } else if self.gap.is_zero() {
+                        self.state = LoopState::Issue(i + 1);
+                    } else {
+                        self.state = LoopState::Gap(i + 1);
+                        return Action::SleepFor(self.gap);
+                    }
+                }
+                LoopState::Gap(i) => {
+                    self.state = LoopState::Issue(i);
+                }
+                LoopState::Done => return Action::Halt,
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A loop that first executes a *preceding* class and then times a main
+/// class — the Figure 10(b) experiment ("throttling period of a
+/// 512b_Heavy loop when the loop is preceded by different instruction
+/// types").
+#[derive(Debug)]
+pub struct PrecededLoop {
+    preceding: InstClass,
+    preceding_insts: u64,
+    main: InstClass,
+    main_insts: u64,
+    settle: SimTime,
+    recorder: Recorder,
+    stage: u8,
+    t_start: u64,
+}
+
+impl PrecededLoop {
+    /// Creates the two-stage loop: run `preceding`, idle for `settle`
+    /// (letting its voltage transition finish but staying well inside the
+    /// reset-time), then time `main`.
+    pub fn new(
+        preceding: InstClass,
+        preceding_insts: u64,
+        main: InstClass,
+        main_insts: u64,
+        settle: SimTime,
+        recorder: Recorder,
+    ) -> Self {
+        PrecededLoop {
+            preceding,
+            preceding_insts,
+            main,
+            main_insts,
+            settle,
+            recorder,
+            stage: 0,
+            t_start: 0,
+        }
+    }
+}
+
+impl Program for PrecededLoop {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        match self.stage {
+            0 => {
+                self.stage = 1;
+                Action::Run {
+                    class: self.preceding,
+                    instructions: self.preceding_insts,
+                }
+            }
+            1 => {
+                self.stage = 2;
+                Action::SleepFor(self.settle)
+            }
+            2 => {
+                self.stage = 3;
+                self.t_start = ctx.tsc;
+                Action::Run {
+                    class: self.main,
+                    instructions: self.main_insts,
+                }
+            }
+            3 => {
+                self.recorder.push(ctx.tsc.saturating_sub(self.t_start));
+                self.stage = 4;
+                Action::Halt
+            }
+            _ => Action::Halt,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "preceded loop"
+    }
+}
+
+/// Sizes a loop so that its *unthrottled* duration is roughly
+/// `target` at the given frequency (using the class's nominal IPC).
+pub fn instructions_for_duration(
+    class: InstClass,
+    freq: ichannels_uarch::time::Freq,
+    target: SimTime,
+) -> u64 {
+    let ipc = ichannels_uarch::ipc::nominal_ipc(class);
+    ((ipc * freq.as_hz() as f64 * target.as_secs()).round() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ichannels_soc::config::{PlatformSpec, SocConfig};
+    use ichannels_soc::sim::Soc;
+    use ichannels_uarch::time::Freq;
+
+    fn soc14() -> Soc {
+        Soc::new(SocConfig::pinned(
+            PlatformSpec::cannon_lake(),
+            Freq::from_ghz(1.4),
+        ))
+    }
+
+    #[test]
+    fn records_one_duration_per_rep() {
+        let mut soc = soc14();
+        let rec = Recorder::new();
+        soc.spawn(
+            0,
+            0,
+            Box::new(MeasuredLoop::new(
+                InstClass::Heavy256,
+                14_000,
+                5,
+                SimTime::from_us(700.0),
+                rec.clone(),
+            )),
+        );
+        soc.run_until_idle(SimTime::from_ms(20.0));
+        assert_eq!(rec.len(), 5);
+    }
+
+    #[test]
+    fn first_rep_includes_throttle_later_reps_do_not() {
+        // With a gap much shorter than the reset-time, only the first
+        // repetition pays the voltage ramp.
+        let mut soc = soc14();
+        let rec = Recorder::new();
+        soc.spawn(
+            0,
+            0,
+            Box::new(MeasuredLoop::new(
+                InstClass::Heavy512,
+                14_000,
+                3,
+                SimTime::from_us(50.0),
+                rec.clone(),
+            )),
+        );
+        soc.run_until_idle(SimTime::from_ms(10.0));
+        let d = rec.durations_us(soc.tsc());
+        assert!(d[0] > d[1] + 5.0, "durations: {d:?}");
+        assert!((d[1] - d[2]).abs() < 0.5, "durations: {d:?}");
+    }
+
+    #[test]
+    fn gap_beyond_reset_time_rethrottles_every_rep() {
+        let mut soc = soc14();
+        let rec = Recorder::new();
+        soc.spawn(
+            0,
+            0,
+            Box::new(MeasuredLoop::new(
+                InstClass::Heavy512,
+                14_000,
+                3,
+                SimTime::from_us(700.0),
+                rec.clone(),
+            )),
+        );
+        soc.run_until_idle(SimTime::from_ms(10.0));
+        let d = rec.durations_us(soc.tsc());
+        assert!((d[0] - d[1]).abs() < 1.0, "durations: {d:?}");
+        assert!((d[1] - d[2]).abs() < 1.0, "durations: {d:?}");
+    }
+
+    #[test]
+    fn preceded_loop_reproduces_figure_10b_ordering() {
+        // Heavier preceding class ⇒ shorter measured TP of 512b-Heavy.
+        let mut tps = Vec::new();
+        for prev in [InstClass::Light128, InstClass::Heavy256, InstClass::Heavy512] {
+            let mut soc = soc14();
+            let rec = Recorder::new();
+            soc.spawn(
+                0,
+                0,
+                Box::new(PrecededLoop::new(
+                    prev,
+                    14_000,
+                    InstClass::Heavy512,
+                    14_000,
+                    SimTime::from_us(30.0),
+                    rec.clone(),
+                )),
+            );
+            soc.run_until_idle(SimTime::from_ms(10.0));
+            tps.push(rec.durations_us(soc.tsc())[0]);
+        }
+        assert!(tps[0] > tps[1] && tps[1] > tps[2], "tps = {tps:?}");
+    }
+
+    #[test]
+    fn instructions_for_duration_inverts_ipc() {
+        let n = instructions_for_duration(
+            InstClass::Scalar64,
+            Freq::from_ghz(2.0),
+            SimTime::from_us(10.0),
+        );
+        // IPC 2 at 2 GHz for 10 µs = 40_000 instructions.
+        assert_eq!(n, 40_000);
+    }
+}

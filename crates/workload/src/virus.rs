@@ -1,0 +1,64 @@
+//! Power-virus workloads (paper §2).
+//!
+//! A power virus "exercises the highest possible dynamic capacitance"
+//! and draws `Iccvirus`, the current the voltage guardband is provisioned
+//! for. Used to probe the worst-case operating point and to validate the
+//! secure-mode overhead numbers.
+
+use ichannels_soc::program::Script;
+use ichannels_soc::sim::Soc;
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::{Freq, SimTime};
+
+/// Builds the per-core power-virus program: an endless-ish 512b-Heavy
+/// loop sized for `duration` of unthrottled execution at `freq`.
+pub fn power_virus_program(freq: Freq, duration: SimTime) -> Script {
+    let insts = crate::loops::instructions_for_duration(InstClass::Heavy512, freq, duration);
+    Script::run_loop(InstClass::Heavy512, insts)
+}
+
+/// Spawns the virus on every hardware thread 0 of every core.
+///
+/// # Panics
+///
+/// Panics if any target hardware thread is already occupied.
+pub fn spawn_power_virus(soc: &mut Soc, duration: SimTime) {
+    let n = soc.config().platform.n_cores;
+    let freq = soc.freq();
+    for core in 0..n {
+        soc.spawn(core, 0, Box::new(power_virus_program(freq, duration)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ichannels_soc::config::{PlatformSpec, SocConfig};
+
+    #[test]
+    fn virus_reaches_maximum_guardband() {
+        let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4));
+        let mut soc = Soc::new(cfg);
+        let base = soc.vcc_mv();
+        spawn_power_virus(&mut soc, SimTime::from_us(500.0));
+        soc.run_until(SimTime::from_us(400.0));
+        let setpoint = soc.pmu().package_setpoint_mv();
+        // Both cores at 512b-Heavy: the largest possible guardband.
+        let gb = soc
+            .config()
+            .platform
+            .guardband()
+            .secure_mode_guardband_mv(2, base, Freq::from_ghz(1.4));
+        assert!((setpoint - (base + gb)).abs() < 0.5, "setpoint = {setpoint}");
+    }
+
+    #[test]
+    fn virus_draws_more_current_than_typical() {
+        let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4));
+        let mut soc = Soc::new(cfg);
+        let idle_icc = soc.icc_a();
+        spawn_power_virus(&mut soc, SimTime::from_us(200.0));
+        soc.run_until(SimTime::from_us(100.0));
+        assert!(soc.icc_a() > idle_icc * 3.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # IChannels reproduction — workspace root
+//!
+//! Umbrella crate for the reproduction of *IChannels: Exploiting Current
+//! Management Mechanisms to Create Covert Channels in Modern Processors*
+//! (Haj-Yahya et al., ISCA 2021). It re-exports every workspace crate so
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`) have a single dependency.
+//!
+//! * [`ichannels`] — the covert channels, baselines, and mitigations;
+//! * [`ichannels_soc`] — the event-driven SoC simulator;
+//! * [`ichannels_pmu`] / [`ichannels_pdn`] / [`ichannels_uarch`] — the
+//!   power-management, power-delivery, and microarchitecture substrates;
+//! * [`ichannels_workload`] — measured loops, phase programs, apps;
+//! * [`ichannels_meter`] — the DAQ model and statistics.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use ichannels;
+pub use ichannels_meter;
+pub use ichannels_pdn;
+pub use ichannels_pmu;
+pub use ichannels_soc;
+pub use ichannels_uarch;
+pub use ichannels_workload;

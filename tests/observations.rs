@@ -1,0 +1,215 @@
+//! Cross-crate integration tests for the paper's three observations
+//! (§1) and five key conclusions (§5).
+
+use ichannels_repro::ichannels_soc::config::{PlatformSpec, SocConfig};
+use ichannels_repro::ichannels_soc::program::Script;
+use ichannels_repro::ichannels_soc::sim::Soc;
+use ichannels_repro::ichannels_uarch::ipc::nominal_ipc;
+use ichannels_repro::ichannels_uarch::isa::InstClass;
+use ichannels_repro::ichannels_uarch::time::{Freq, SimTime};
+use ichannels_repro::ichannels_workload::loops::{
+    instructions_for_duration, MeasuredLoop, PrecededLoop, Recorder,
+};
+
+fn tp_us(platform: &PlatformSpec, freq: Freq, class: InstClass, cores: usize) -> f64 {
+    let mut soc = Soc::new(SocConfig::pinned(platform.clone(), freq));
+    let insts = instructions_for_duration(class, freq, SimTime::from_us(60.0));
+    let rec = Recorder::new();
+    soc.spawn(0, 0, Box::new(MeasuredLoop::once(class, insts, rec.clone())));
+    for c in 1..cores {
+        soc.spawn(c, 0, Box::new(Script::run_loop(class, insts)));
+    }
+    soc.run_until_idle(SimTime::from_ms(5.0));
+    let measured = rec.durations_us(soc.tsc())[0];
+    let base = insts as f64 / nominal_ipc(class) / freq.as_hz() as f64 * 1e6;
+    (measured - base).max(0.0) / 0.75
+}
+
+/// Observation 1 (Multi-Throttling-Thread): multi-level TPs proportional
+/// to computational intensity, with at least 5 distinct levels.
+#[test]
+fn observation1_multi_level_throttling() {
+    let p = PlatformSpec::cannon_lake();
+    let freq = Freq::from_ghz(1.4);
+    let tps: Vec<f64> = InstClass::ALL
+        .iter()
+        .map(|&c| tp_us(&p, freq, c, 1))
+        .collect();
+    // Monotone non-decreasing with intensity.
+    for w in tps.windows(2) {
+        assert!(w[1] >= w[0] - 1e-6, "tps = {tps:?}");
+    }
+    // At least 5 distinct levels (Key Conclusion 4).
+    let mut distinct: Vec<f64> = Vec::new();
+    for tp in &tps {
+        if !distinct.iter().any(|d| (d - tp).abs() < 0.5) {
+            distinct.push(*tp);
+        }
+    }
+    assert!(distinct.len() >= 5, "levels = {tps:?}");
+    // The preceding-class effect (Figure 10(b)): heavier preceding class
+    // ⇒ shorter TP of the 512b-Heavy loop.
+    let mut soc = Soc::new(SocConfig::pinned(p.clone(), freq));
+    let rec_light = Recorder::new();
+    soc.spawn(
+        0,
+        0,
+        Box::new(PrecededLoop::new(
+            InstClass::Light128,
+            10_000,
+            InstClass::Heavy512,
+            50_000,
+            SimTime::from_us(30.0),
+            rec_light.clone(),
+        )),
+    );
+    soc.run_until_idle(SimTime::from_ms(5.0));
+    let mut soc2 = Soc::new(SocConfig::pinned(p, freq));
+    let rec_heavy = Recorder::new();
+    soc2.spawn(
+        0,
+        0,
+        Box::new(PrecededLoop::new(
+            InstClass::Heavy256,
+            10_000,
+            InstClass::Heavy512,
+            50_000,
+            SimTime::from_us(30.0),
+            rec_heavy.clone(),
+        )),
+    );
+    soc2.run_until_idle(SimTime::from_ms(5.0));
+    assert!(rec_light.values()[0] > rec_heavy.values()[0]);
+}
+
+/// Observation 2 (Multi-Throttling-SMT): the sibling's scalar loop
+/// duration encodes the PHI class executed by the other hardware thread.
+#[test]
+fn observation2_smt_cothrottling_is_multi_level() {
+    let p = PlatformSpec::cannon_lake();
+    let freq = Freq::from_ghz(1.4);
+    let mut durations = Vec::new();
+    for phi in [
+        InstClass::Heavy128,
+        InstClass::Light256,
+        InstClass::Heavy256,
+        InstClass::Heavy512,
+    ] {
+        let mut soc = Soc::new(SocConfig::pinned(p.clone(), freq));
+        let phi_insts = instructions_for_duration(phi, freq, SimTime::from_us(15.0));
+        soc.spawn(0, 1, Box::new(Script::run_loop(phi, phi_insts)));
+        let rec = Recorder::new();
+        let scalar_insts =
+            instructions_for_duration(InstClass::Scalar64, freq, SimTime::from_us(25.0));
+        soc.spawn(
+            0,
+            0,
+            Box::new(MeasuredLoop::once(InstClass::Scalar64, scalar_insts, rec.clone())),
+        );
+        soc.run_until_idle(SimTime::from_ms(5.0));
+        durations.push(rec.values()[0]);
+    }
+    // Strictly increasing with the sibling's PHI intensity.
+    for w in durations.windows(2) {
+        assert!(w[1] > w[0], "durations = {durations:?}");
+    }
+}
+
+/// Observation 3 (Multi-Throttling-Cores): a second core's PHI within a
+/// few hundred cycles queues behind the first core's voltage transition.
+#[test]
+fn observation3_cross_core_serialization_is_multi_level() {
+    let p = PlatformSpec::cannon_lake();
+    let freq = Freq::from_ghz(1.4);
+    let mut tps = Vec::new();
+    for sender in [
+        InstClass::Heavy128,
+        InstClass::Light256,
+        InstClass::Heavy256,
+        InstClass::Heavy512,
+    ] {
+        let mut soc = Soc::new(SocConfig::pinned(p.clone(), freq));
+        let s_insts = instructions_for_duration(sender, freq, SimTime::from_us(15.0));
+        soc.spawn(0, 0, Box::new(Script::run_loop(sender, s_insts)));
+        soc.run_until(SimTime::from_ns(200.0));
+        let rec = Recorder::new();
+        let r_insts =
+            instructions_for_duration(InstClass::Heavy128, freq, SimTime::from_us(10.0));
+        soc.spawn(
+            1,
+            0,
+            Box::new(MeasuredLoop::once(InstClass::Heavy128, r_insts, rec.clone())),
+        );
+        soc.run_until_idle(SimTime::from_ms(5.0));
+        tps.push(rec.values()[0]);
+    }
+    for w in tps.windows(2) {
+        assert!(w[1] > w[0], "receiver durations = {tps:?}");
+    }
+}
+
+/// Key Conclusion 2: the frequency reduction after PHIs at turbo is due
+/// to current limits, not thermals — it happens while the junction is
+/// cold, and it does not happen at low frequency at all.
+#[test]
+fn key_conclusion2_not_thermal() {
+    // At turbo: frequency drops within tens of µs while Tj ≈ ambient.
+    let mut soc = Soc::new(SocConfig::quiet(PlatformSpec::cannon_lake()));
+    let f0 = soc.freq();
+    soc.spawn(
+        0,
+        0,
+        Box::new(Script::run_loop(InstClass::Heavy256, 3_000_000)),
+    );
+    soc.run_until(SimTime::from_ms(1.0));
+    assert!(soc.freq() < f0, "no frequency reduction at turbo");
+    assert!(soc.temp_c() < 50.0, "temperature is not the cause");
+
+    // At a pinned low frequency: no frequency change at all (Figure 6).
+    let mut soc = Soc::new(SocConfig::pinned(
+        PlatformSpec::cannon_lake(),
+        Freq::from_ghz(1.4),
+    ));
+    soc.spawn(
+        0,
+        0,
+        Box::new(Script::run_loop(InstClass::Heavy256, 1_000_000)),
+    );
+    soc.run_until(SimTime::from_ms(1.0));
+    assert_eq!(soc.freq(), Freq::from_ghz(1.4));
+}
+
+/// Key Conclusion 3: the AVX power-gate wake is ns-scale — a negligible
+/// fraction of the µs-scale TP (refuting NetSpectre's hypothesis).
+#[test]
+fn key_conclusion3_power_gating_is_not_the_cause() {
+    // Haswell has no AVX gate yet still throttles for ~9 µs.
+    let tp_haswell = tp_us(
+        &PlatformSpec::haswell(),
+        Freq::from_ghz(3.0),
+        InstClass::Heavy256,
+        1,
+    );
+    assert!(tp_haswell > 5.0, "tp = {tp_haswell}");
+    // The gate wake on gated parts is tens of ns = ~0.1% of the TP.
+    let wake = PlatformSpec::coffee_lake().avx_pg_wake.unwrap();
+    let tp_coffee = tp_us(
+        &PlatformSpec::coffee_lake(),
+        Freq::from_ghz(3.0),
+        InstClass::Heavy256,
+        1,
+    );
+    let frac = wake.as_us() / tp_coffee;
+    assert!(frac < 0.005, "gate fraction = {frac}");
+}
+
+/// Two-core exacerbation (§5.5): the TP roughly doubles when both cores
+/// run PHIs concurrently (paper: 5 µs → 9 µs for 256b-Heavy at 1 GHz).
+#[test]
+fn two_core_exacerbation_matches_paper() {
+    let p = PlatformSpec::cannon_lake();
+    let one = tp_us(&p, Freq::from_ghz(1.0), InstClass::Heavy256, 1);
+    let two = tp_us(&p, Freq::from_ghz(1.0), InstClass::Heavy256, 2);
+    assert!((4.0..6.5).contains(&one), "1-core TP = {one}");
+    assert!((8.0..11.0).contains(&two), "2-core TP = {two}");
+}
