@@ -1,0 +1,90 @@
+//! Runs `ichannels-lab` experiment campaigns from the command line.
+//!
+//! ```text
+//! campaign [--campaign NAME|all] [--threads N] [--quick] [--list]
+//! ```
+//!
+//! Campaigns: `client_vs_server`, `noise_robustness`,
+//! `mitigation_coverage`, or `all`. Results stream to
+//! `results/<name>_trials.jsonl` plus per-trial and per-cell CSVs
+//! (override the directory with `ICHANNELS_RESULTS`).
+
+use ichannels_lab::{campaigns, Executor};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--campaign NAME|all] [--threads N] [--quick] [--list]\n\
+         campaigns: client_vs_server, noise_robustness, mitigation_coverage"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut threads: Option<usize> = None;
+    let mut quick = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--campaign" | "-c" => match iter.next() {
+                Some(name) => which = name.clone(),
+                None => usage(),
+            },
+            "--threads" | "-j" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => usage(),
+            },
+            "--quick" => quick = true,
+            "--list" => {
+                for (name, grid) in campaigns::catalog(true) {
+                    println!("{name} ({} quick scenarios)", grid.scenarios().len());
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let executor = threads.map_or_else(Executor::auto, Executor::new);
+    let catalog = campaigns::catalog(quick);
+    let selected: Vec<_> = catalog
+        .into_iter()
+        .filter(|(name, _)| which == "all" || which == *name)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no campaign named {which:?}");
+        usage();
+    }
+
+    let results_dir = ichannels_bench::results_dir();
+    for (name, grid) in selected {
+        ichannels_bench::banner(&format!(
+            "campaign {name}: {} scenarios on {} threads",
+            grid.scenarios().len(),
+            executor.threads()
+        ));
+        let report = campaigns::run(name, &grid, executor);
+        for cell in &report.cells {
+            let ber = cell
+                .ber
+                .map_or_else(|| "-".to_string(), |s| format!("{:.4}", s.mean));
+            let tp = cell
+                .throughput
+                .map_or_else(|| "-".to_string(), |s| format!("{:.0}", s.mean));
+            println!("  {:<64} ber {ber:>8}  tp {tp:>8} b/s", cell.cell);
+        }
+        match report.write_to(&results_dir) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("  wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("  FAILED to write report: {e}"),
+        }
+    }
+}

@@ -2,7 +2,10 @@
 //! `results/` — the one-shot paper reproduction.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    println!("IChannels (ISCA 2021) full reproduction{}", if quick { " (quick mode)" } else { "" });
+    println!(
+        "IChannels (ISCA 2021) full reproduction{}",
+        if quick { " (quick mode)" } else { "" }
+    );
     use ichannels_bench::figs;
     figs::fig06::run(quick);
     figs::fig07::run(quick);
@@ -16,5 +19,8 @@ fn main() {
     let _ = figs::table2::run(quick); // also regenerates Figure 12
     figs::ablation::run(quick);
     println!();
-    println!("All artifacts regenerated; CSVs in {}", ichannels_bench::results_dir().display());
+    println!(
+        "All artifacts regenerated; CSVs in {}",
+        ichannels_bench::results_dir().display()
+    );
 }

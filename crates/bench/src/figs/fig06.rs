@@ -10,9 +10,9 @@
 use ichannels_meter::export::CsvTable;
 use ichannels_soc::config::{PlatformSpec, SocConfig};
 use ichannels_soc::sim::Soc;
+use ichannels_uarch::isa::InstClass;
 use ichannels_uarch::time::{Freq, SimTime};
 use ichannels_workload::phases::{Phase, PhaseProgram};
-use ichannels_uarch::isa::InstClass;
 
 use crate::{banner, write_csv};
 
@@ -65,8 +65,7 @@ pub fn run_avx2_steps(quick: bool) -> (CsvTable, Vec<(String, f64)>) {
         trace
             .samples()
             .iter()
-            .filter(|s| s.time <= t(sec))
-            .last()
+            .rfind(|s| s.time <= t(sec))
             .map(|s| s.vcc_mv - v0)
             .unwrap_or(0.0)
     };
@@ -86,8 +85,7 @@ pub fn run_avx2_steps(quick: bool) -> (CsvTable, Vec<(String, f64)>) {
     let fmax = freqs.iter().map(|(_, f)| *f).fold(0.0, f64::max);
     println!("  frequency range: {fmin:.2}–{fmax:.2} GHz (paper: flat)");
     // Automatic step detection over the Vcc series.
-    let series: ichannels_meter::series::Series =
-        trace.vcc_series().into_iter().collect();
+    let series: ichannels_meter::series::Series = trace.vcc_series().into_iter().collect();
     let detected = series.detect_steps(8, 3.0);
     println!("  detected {} voltage steps:", detected.len());
     for st in &detected {
@@ -124,7 +122,10 @@ pub fn run_calculix(quick: bool) -> CsvTable {
         csv.push_floats([s.time.as_secs(), s.vcc_mv - v0, s.freq.as_ghz()]);
     }
     let vmax = trace.vcc_max().unwrap_or(v0) - v0;
-    println!("  peak Vcc delta: {vmax:.2} mV over {} samples", trace.len());
+    println!(
+        "  peak Vcc delta: {vmax:.2} mV over {} samples",
+        trace.len()
+    );
     write_csv(&csv, "fig06b_calculix.csv");
     csv
 }

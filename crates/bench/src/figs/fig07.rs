@@ -51,7 +51,10 @@ fn project(
     let classes: Vec<Option<InstClass>> = (0..platform.n_cores)
         .map(|i| if i < active_cores { Some(class) } else { None })
         .collect();
-    let vcc = base + platform.guardband().package_guardband_mv(&classes, base, freq);
+    let vcc = base
+        + platform
+            .guardband()
+            .package_guardband_mv(&classes, base, freq);
     let acts: Vec<CoreActivity> = (0..platform.n_cores)
         .map(|i| {
             if i < active_cores {
@@ -108,10 +111,17 @@ pub fn run_limits(_quick: bool) -> Vec<OperatingPoint> {
             ));
         }
     }
-    let mut csv = CsvTable::new(["system", "workload", "freq_ghz", "vcc_mv", "icc_a", "violation"]);
+    let mut csv = CsvTable::new([
+        "system",
+        "workload",
+        "freq_ghz",
+        "vcc_mv",
+        "icc_a",
+        "violation",
+    ]);
     println!(
-        "  {:<26} {:<8} {:>9} {:>9} {:>9}  {}",
-        "system", "workload", "freq", "Vcc(mV)", "Icc(A)", "violation"
+        "  {:<26} {:<8} {:>9} {:>9} {:>9}  violation",
+        "system", "workload", "freq", "Vcc(mV)", "Icc(A)"
     );
     for r in &rows {
         println!(
@@ -162,25 +172,28 @@ pub fn run_phases(quick: bool) -> Vec<PhasePoint> {
     let cfg = SocConfig::quiet(PlatformSpec::cannon_lake()).with_trace(per_phase.scale(0.02));
     let mut soc = Soc::new(cfg);
     for core in 0..2 {
-        soc.spawn(core, 0, Box::new(PhaseProgram::three_phase(per_phase, 20_000)));
+        soc.spawn(
+            core,
+            0,
+            Box::new(PhaseProgram::three_phase(per_phase, 20_000)),
+        );
     }
     soc.run_until(per_phase.scale(3.2));
     let trace = soc.trace();
     let mut csv = CsvTable::new(["time_s", "freq_ghz", "vcc_mv", "icc_a", "temp_c"]);
     for s in trace.samples() {
-        csv.push_floats([s.time.as_secs(), s.freq.as_ghz(), s.vcc_mv, s.icc_a, s.temp_c]);
+        csv.push_floats([
+            s.time.as_secs(),
+            s.freq.as_ghz(),
+            s.vcc_mv,
+            s.icc_a,
+            s.temp_c,
+        ]);
     }
     write_csv(&csv, "fig07b_phases.csv");
 
     let mid = |k: f64| per_phase.scale(k);
-    let probe = |t: SimTime| {
-        trace
-            .samples()
-            .iter()
-            .filter(|s| s.time <= t)
-            .last()
-            .cloned()
-    };
+    let probe = |t: SimTime| trace.samples().iter().rfind(|s| s.time <= t).cloned();
     let mut rows = Vec::new();
     for (k, label) in [(0.5, "Non-AVX"), (1.5, "AVX2"), (2.5, "AVX512")] {
         if let Some(s) = probe(mid(k)) {

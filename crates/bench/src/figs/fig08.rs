@@ -79,11 +79,7 @@ pub fn run_distributions(quick: bool) -> Vec<TpDistribution> {
             .map(|&d| (inflation_to_tp_us(d, base_us) + gauss() * 0.35).max(0.0))
             .collect();
         for (i, tp) in tps.iter().enumerate() {
-            csv.push_row([
-                platform.name.to_string(),
-                i.to_string(),
-                format!("{tp:.4}"),
-            ]);
+            csv.push_row([platform.name.to_string(), i.to_string(), format!("{tp:.4}")]);
         }
         let s = summarize(&tps);
         println!(

@@ -9,11 +9,11 @@
 
 use ichannels_meter::export::CsvTable;
 use ichannels_soc::config::{PlatformSpec, SocConfig};
+use ichannels_soc::program::Script;
 use ichannels_soc::sim::Soc;
 use ichannels_uarch::isa::InstClass;
 use ichannels_uarch::time::{Freq, SimTime};
 use ichannels_workload::loops::instructions_for_duration;
-use ichannels_soc::program::Script;
 
 use crate::{banner, write_csv};
 
@@ -44,10 +44,13 @@ fn timeline(cfg: SocConfig, label: &str, horizon: SimTime, csv_name: &str) -> Cs
     let t_end = trace
         .samples()
         .iter()
-        .filter(|s| s.throttled[0])
-        .last()
+        .rfind(|s| s.throttled[0])
         .map(|s| s.time.as_us());
-    let f_final = trace.samples().last().map(|s| s.freq.as_ghz()).unwrap_or(0.0);
+    let f_final = trace
+        .samples()
+        .last()
+        .map(|s| s.freq.as_ghz())
+        .unwrap_or(0.0);
     let v_final = trace.samples().last().map(|s| s.vcc_mv - v0).unwrap_or(0.0);
     match (t_start, t_end) {
         (Some(a), Some(b)) => println!(
@@ -65,7 +68,12 @@ pub fn run(_quick: bool) {
     // (a) Sub-nominal frequency: guardband ramp throttling only.
     let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4))
         .with_trace(SimTime::from_ns(200.0));
-    timeline(cfg, "(a) 1.4 GHz (di/dt guardband ramp)", SimTime::from_us(40.0), "fig09a_guardband.csv");
+    timeline(
+        cfg,
+        "(a) 1.4 GHz (di/dt guardband ramp)",
+        SimTime::from_us(40.0),
+        "fig09a_guardband.csv",
+    );
 
     // (b) ns zoom: the power-gate wake.
     let wake = PlatformSpec::cannon_lake()
@@ -78,5 +86,10 @@ pub fn run(_quick: bool) {
 
     // (c) Turbo: Vccmax/Iccmax protection with a P-state transition.
     let cfg = SocConfig::quiet(PlatformSpec::cannon_lake()).with_trace(SimTime::from_ns(200.0));
-    timeline(cfg, "(c) turbo (P-state transition)", SimTime::from_us(60.0), "fig09c_pstate.csv");
+    timeline(
+        cfg,
+        "(c) turbo (P-state transition)",
+        SimTime::from_us(60.0),
+        "fig09c_pstate.csv",
+    );
 }

@@ -31,10 +31,7 @@ pub fn run_sweep(_quick: bool) -> Vec<(InstClass, f64, usize, f64)> {
         "  {:<12} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
         "class", "1.0GHz", "1.2GHz", "1.4GHz", "1.0GHz", "1.2GHz", "1.4GHz"
     );
-    println!(
-        "  {:<12} {:-^26}   {:-^26}",
-        "", " 1 core ", " 2 cores "
-    );
+    println!("  {:<12} {:-^26}   {:-^26}", "", " 1 core ", " 2 cores ");
     for class in InstClass::ALL {
         let mut line = format!("  {:<12}", class.to_string());
         for cores in [1usize, 2] {
@@ -65,8 +62,7 @@ pub fn run_preceded(_quick: bool) -> Vec<(InstClass, f64)> {
     let freq = Freq::from_ghz(1.4);
     let main_insts = instructions_for_duration(InstClass::Heavy512, freq, SimTime::from_us(60.0));
     let prev_insts = instructions_for_duration(InstClass::Heavy256, freq, SimTime::from_us(15.0));
-    let base_us =
-        main_insts as f64 / nominal_ipc(InstClass::Heavy512) / freq.as_hz() as f64 * 1e6;
+    let base_us = main_insts as f64 / nominal_ipc(InstClass::Heavy512) / freq.as_hz() as f64 * 1e6;
     let mut rows = Vec::new();
     let mut csv = CsvTable::new(["preceding_class", "tp_us"]);
     for prev in InstClass::ALL {

@@ -5,13 +5,14 @@
 //! NetSpectre's single-level gadget transmits one ⇒ 2× throughput.
 //! (b) IccSMTcovert/IccCoresCovert (~2.9 kb/s) vs DFScovert (~20 b/s),
 //! TurboCC (~61 b/s), POWERT (~122 b/s): 145×/47×/24×.
+//!
+//! All seven channels run as one `ichannels-lab` campaign: the three
+//! IChannels and the four baselines form the channel axis of a
+//! single-platform grid executed on the worker pool.
 
-use ichannels::baselines::dfscovert::DfsCovertChannel;
-use ichannels::baselines::netspectre::NetSpectreChannel;
-use ichannels::baselines::powert::PowerTChannel;
-use ichannels::baselines::turbocc::TurboCcChannel;
-use ichannels::ber::evaluate;
-use ichannels::channel::IChannel;
+use ichannels::channel::ChannelKind;
+use ichannels_lab::scenario::{BaselineKind, ChannelSelect};
+use ichannels_lab::{campaigns, Executor};
 use ichannels_meter::export::CsvTable;
 
 use crate::{banner, write_csv};
@@ -31,75 +32,39 @@ pub struct Throughput {
 pub fn run(quick: bool) -> Vec<Throughput> {
     banner("Figure 12: channel throughput vs state of the art");
     let n = if quick { 12 } else { 40 };
-    let mut out = Vec::new();
 
-    // (a) IccThreadCovert vs NetSpectre.
-    let icc_thread = IChannel::icc_thread_covert();
-    let cal = icc_thread.calibrate(3);
-    let ev = evaluate(&icc_thread, &cal, n, 42);
-    out.push(Throughput {
-        name: "IccThreadCovert".into(),
-        bps: ev.throughput_bps,
-        ber: ev.ber,
-    });
+    let channels = vec![
+        ChannelSelect::Icc(ChannelKind::Thread),
+        ChannelSelect::Baseline(BaselineKind::NetSpectre),
+        ChannelSelect::Icc(ChannelKind::Smt),
+        ChannelSelect::Icc(ChannelKind::Cores),
+        ChannelSelect::Baseline(BaselineKind::DfsCovert),
+        ChannelSelect::Baseline(BaselineKind::TurboCc),
+        ChannelSelect::Baseline(BaselineKind::Powert),
+    ];
+    let grid = campaigns::channel_shootout(channels.clone(), n, 42);
+    let report = campaigns::run("fig12_shootout", &grid, Executor::auto());
 
-    let ns = NetSpectreChannel::default_cannon_lake();
-    let ns_cal = ns.calibrate(3);
-    let ns_bits: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
-    let ns_tx = ns.transmit(&ns_bits, ns_cal);
-    out.push(Throughput {
-        name: "NetSpectre".into(),
-        bps: ns_tx.throughput_bps,
-        ber: ns_tx.bit_error_rate(),
-    });
-
-    // (b) IccSMTcovert / IccCoresCovert vs DFScovert / TurboCC / POWERT.
-    for (label, ch) in [
-        ("IccSMTcovert", IChannel::icc_smt_covert()),
-        ("IccCoresCovert", IChannel::icc_cores_covert()),
-    ] {
-        let cal = ch.calibrate(3);
-        let ev = evaluate(&ch, &cal, n, 43);
-        out.push(Throughput {
-            name: label.into(),
-            bps: ev.throughput_bps,
-            ber: ev.ber,
-        });
-    }
-
-    let dfs = DfsCovertChannel::default();
-    let bits: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
-    let (dec, bps) = dfs.transmit(&bits);
-    let ber = bits.iter().zip(&dec).filter(|(a, b)| a != b).count() as f64 / bits.len() as f64;
-    out.push(Throughput {
-        name: "DFScovert".into(),
-        bps,
-        ber,
-    });
-
-    let turbo = TurboCcChannel::default();
-    let t_cal = turbo.calibrate(2);
-    let t_bits = [true, false, true, true, false];
-    let t_tx = turbo.transmit(&t_bits, t_cal);
-    out.push(Throughput {
-        name: "TurboCC".into(),
-        bps: t_tx.throughput_bps,
-        ber: t_tx.bit_error_rate(),
-    });
-
-    let pt = PowerTChannel::default();
-    let (dec, bps) = pt.transmit(&bits);
-    let ber = bits.iter().zip(&dec).filter(|(a, b)| a != b).count() as f64 / bits.len() as f64;
-    out.push(Throughput {
-        name: "POWERT".into(),
-        bps,
-        ber,
-    });
+    // One record per channel (single platform, one trial per cell), in
+    // grid axis order.
+    let out: Vec<Throughput> = report
+        .records
+        .iter()
+        .map(|r| Throughput {
+            name: r.scenario.channel.label(),
+            bps: r.metrics.throughput_bps,
+            ber: r.metrics.ber,
+        })
+        .collect();
+    assert_eq!(out.len(), channels.len(), "one record per channel");
 
     // Report.
     let find = |n: &str| out.iter().find(|t| t.name == n).expect("present");
     let icc = find("IccSMTcovert").bps;
-    println!("  {:<16} {:>12} {:>8} {:>10}", "channel", "bits/s", "BER", "IChannels×");
+    println!(
+        "  {:<16} {:>12} {:>8} {:>10}",
+        "channel", "bits/s", "BER", "IChannels×"
+    );
     let mut csv = CsvTable::new(["channel", "bps", "ber", "ichannels_ratio"]);
     for t in &out {
         let ratio = icc / t.bps;

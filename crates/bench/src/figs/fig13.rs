@@ -38,11 +38,7 @@ pub fn run(quick: bool) -> (Vec<LevelCluster>, f64) {
     for s in Symbol::ALL {
         let durations = ch.run_symbols(&vec![s; reps]);
         for d in &durations {
-            csv.push_row([
-                format!("L{}", 4 - s.value()),
-                s.to_string(),
-                d.to_string(),
-            ]);
+            csv.push_row([format!("L{}", 4 - s.value()), s.to_string(), d.to_string()]);
         }
         let vals: Vec<f64> = durations.iter().map(|&d| d as f64).collect();
         let sum = summarize(&vals);

@@ -50,7 +50,11 @@ pub fn measure_tp_us(
     // Loop long enough to outlast any TP (≥ 60 µs of work).
     let insts = instructions_for_duration(class, freq, SimTime::from_us(60.0));
     let rec = Recorder::new();
-    soc.spawn(0, 0, Box::new(MeasuredLoop::once(class, insts, rec.clone())));
+    soc.spawn(
+        0,
+        0,
+        Box::new(MeasuredLoop::once(class, insts, rec.clone())),
+    );
     for core in 1..active_cores {
         let other = Recorder::new();
         soc.spawn(core, 0, Box::new(MeasuredLoop::once(class, insts, other)));

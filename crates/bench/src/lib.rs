@@ -35,7 +35,9 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
-/// Writes a table under the results dir and logs the path.
+/// Writes a table under the results dir and logs the path. A missing
+/// results directory is created by [`CsvTable::write_to`] (it creates
+/// every parent of the target path).
 pub fn write_csv(table: &CsvTable, name: &str) {
     let path = results_dir().join(name);
     match table.write_to(&path) {

@@ -1,0 +1,143 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. The build environment has no access to crates.io, so this local
+//! crate takes the `criterion` package name.
+//!
+//! Benchmarks run a short warm-up, then time `sample_size` batches and
+//! print min/mean per-iteration durations. No statistical analysis, no
+//! HTML reports — just enough to keep `cargo bench` useful offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(name, n, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Warm-up.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut min = Duration::MAX;
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+            min = min.min(per_iter);
+        }
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    if iters == 0 {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let mean = total / u32::try_from(iters).unwrap_or(u32::MAX);
+    println!("  {name}: mean {mean:?}/iter, best {min:?}/iter ({iters} iters)");
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, preventing the result from being optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,68 @@
+//! Test execution support: configuration, RNG, and case errors.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps simulation-heavy suites
+        // fast while still exercising the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one sampled case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filter failed; resample without counting the case.
+    Reject(&'static str),
+    /// `prop_assert!` (or variant) failed with this message.
+    Fail(String),
+}
+
+/// Deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// A generator seeded from a stable hash of `name`, so every run of a
+    /// given test samples the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a, 64-bit.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    /// Raw 64 random bits (used by integer `any`).
+    pub fn next_raw(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

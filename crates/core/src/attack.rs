@@ -68,8 +68,7 @@ impl InstructionSpy {
         let mut soc = Soc::new(cfg.soc.clone());
         let freq = cfg.freq();
         let victim_insts = instructions_for_duration(victim_class, freq, cfg.sender_loop);
-        let probe_insts =
-            instructions_for_duration(self.probe_class(), freq, cfg.receiver_loop);
+        let probe_insts = instructions_for_duration(self.probe_class(), freq, cfg.receiver_loop);
         // Victim starts its burst at t=0 (simulation start).
         soc.spawn(0, 0, Box::new(Script::run_loop(victim_class, victim_insts)));
         // Spy probes right after the victim begins.
@@ -78,7 +77,15 @@ impl InstructionSpy {
             SpyPlacement::SmtSibling => (0, 1),
             SpyPlacement::OtherCore => (1, 0),
         };
-        soc.spawn(core, smt, Box::new(MeasuredLoop::once(self.probe_class(), probe_insts, rec.clone())));
+        soc.spawn(
+            core,
+            smt,
+            Box::new(MeasuredLoop::once(
+                self.probe_class(),
+                probe_insts,
+                rec.clone(),
+            )),
+        );
         soc.run_until_idle(SimTime::from_ms(2.0));
         rec.values()[0]
     }
@@ -146,18 +153,18 @@ mod tests {
     fn smt_spy_distinguishes_widths() {
         let spy = InstructionSpy::default_cannon_lake(SpyPlacement::SmtSibling);
         let m = spy.accuracy_experiment(&width_classes(), 2);
-        assert_eq!(
-            m.symbol_error_rate(),
-            0.0,
-            "SMT spy misclassified: {m:?}"
-        );
+        assert_eq!(m.symbol_error_rate(), 0.0, "SMT spy misclassified: {m:?}");
     }
 
     #[test]
     fn cross_core_spy_distinguishes_phis() {
         let spy = InstructionSpy::default_cannon_lake(SpyPlacement::OtherCore);
         // Scalar victims produce no cross-core signal; PHI classes do.
-        let classes = vec![InstClass::Heavy128, InstClass::Heavy256, InstClass::Heavy512];
+        let classes = vec![
+            InstClass::Heavy128,
+            InstClass::Heavy256,
+            InstClass::Heavy512,
+        ];
         let m = spy.accuracy_experiment(&classes, 2);
         assert_eq!(m.symbol_error_rate(), 0.0, "cross-core spy: {m:?}");
     }

@@ -63,8 +63,7 @@ impl DfsCovertChannel {
         let mut now = SimTime::ZERO;
         let mut decoded = Vec::with_capacity(bits.len());
         let probe_offset = self.cfg.bit_period.scale(0.9);
-        let threshold =
-            Freq::from_hz((table.min().as_hz() + table.max().as_hz()) / 2);
+        let threshold = Freq::from_hz((table.min().as_hz() + table.max().as_hz()) / 2);
         for &bit in bits {
             let bit_start = now;
             // The trojan sets the governor for this bit window; the

@@ -82,10 +82,8 @@ impl NetSpectreChannel {
         let freq = cfg.freq();
         let slot0 = tsc.read(cfg.start_offset);
         let period = tsc.duration_to_cycles(cfg.slot_period);
-        let sender_insts =
-            instructions_for_duration(InstClass::Heavy256, freq, cfg.sender_loop);
-        let recv_insts =
-            instructions_for_duration(InstClass::Heavy256, freq, cfg.receiver_loop);
+        let sender_insts = instructions_for_duration(InstClass::Heavy256, freq, cfg.sender_loop);
+        let recv_insts = instructions_for_duration(InstClass::Heavy256, freq, cfg.receiver_loop);
         let recorder = Recorder::new();
         let sigma = tsc.duration_to_cycles(cfg.measurement_jitter) as f64;
         soc.spawn(

@@ -74,8 +74,7 @@ impl PowerTChannel {
         let alpha = 1.0 - (-(cfg.step / cfg.avg_window)).exp();
         let mut avg_power = cfg.low_power_w;
         let mut now = SimTime::ZERO;
-        let threshold =
-            Freq::from_hz((table.min().as_hz() + table.max().as_hz()) / 2);
+        let threshold = Freq::from_hz((table.min().as_hz() + table.max().as_hz()) / 2);
         let low_freq = table.highest_not_above(Freq::from_hz(table.max().as_hz() * 6 / 10));
         let mut decoded = Vec::with_capacity(bits.len());
         for &bit in bits {

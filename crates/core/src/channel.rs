@@ -99,7 +99,7 @@ impl ChannelConfig {
             receiver_loop: SimTime::from_us(8.0),
             cross_core_delay: SimTime::from_ns(150.0),
             measurement_jitter: SimTime::from_ns(150.0),
-            jitter_seed: 0x5EED_1CC,
+            jitter_seed: 0x05EE_D1CC,
         }
     }
 
@@ -361,8 +361,7 @@ impl IChannel {
             }
         }
 
-        let deadline =
-            cfg.start_offset + cfg.slot_period.scale((symbols.len() + 2) as f64);
+        let deadline = cfg.start_offset + cfg.slot_period.scale((symbols.len() + 2) as f64);
         soc.run_until_idle(deadline);
         let durations = recorder.values();
         assert_eq!(
@@ -688,10 +687,7 @@ mod tests {
         let msg = vec![Symbol::new(1); 10];
         let tx = ch.transmit_symbols(&msg, &cal);
         let bps = tx.throughput_bps();
-        assert!(
-            (2_800.0..3_000.0).contains(&bps),
-            "throughput = {bps} b/s"
-        );
+        assert!((2_800.0..3_000.0).contains(&bps), "throughput = {bps} b/s");
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl Repetition3 {
     ///
     /// Panics if the input length is not a multiple of 3.
     pub fn decode(&self, bits: &[bool]) -> Vec<bool> {
-        assert!(bits.len() % 3 == 0, "repetition code length must be 3n");
+        assert!(
+            bits.len().is_multiple_of(3),
+            "repetition code length must be 3n"
+        );
         bits.chunks(3)
             .map(|c| (u8::from(c[0]) + u8::from(c[1]) + u8::from(c[2])) >= 2)
             .collect()
@@ -52,7 +55,10 @@ impl Hamming74 {
     ///
     /// Panics if the input length is not a multiple of 4.
     pub fn encode(&self, bits: &[bool]) -> Vec<bool> {
-        assert!(bits.len() % 4 == 0, "Hamming(7,4) input must be 4n bits");
+        assert!(
+            bits.len().is_multiple_of(4),
+            "Hamming(7,4) input must be 4n bits"
+        );
         let mut out = Vec::with_capacity(bits.len() / 4 * 7);
         for d in bits.chunks(4) {
             let (d1, d2, d3, d4) = (d[0], d[1], d[2], d[3]);
@@ -70,7 +76,10 @@ impl Hamming74 {
     ///
     /// Panics if the input length is not a multiple of 7.
     pub fn decode(&self, bits: &[bool]) -> Vec<bool> {
-        assert!(bits.len() % 7 == 0, "Hamming(7,4) input must be 7n bits");
+        assert!(
+            bits.len().is_multiple_of(7),
+            "Hamming(7,4) input must be 7n bits"
+        );
         let mut out = Vec::with_capacity(bits.len() / 7 * 4);
         for c in bits.chunks(7) {
             let mut w = [c[0], c[1], c[2], c[3], c[4], c[5], c[6]];

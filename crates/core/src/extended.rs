@@ -59,10 +59,7 @@ impl LevelAlphabet {
     pub fn new(classes: Vec<InstClass>) -> Self {
         assert!(classes.len() >= 2, "alphabet needs at least two levels");
         for (i, c) in classes.iter().enumerate() {
-            assert!(
-                !classes[..i].contains(c),
-                "duplicate class {c} in alphabet"
-            );
+            assert!(!classes[..i].contains(c), "duplicate class {c} in alphabet");
         }
         LevelAlphabet { classes }
     }
@@ -266,7 +263,9 @@ impl MultiLevelChannel {
     /// Evaluates the modulation over `n` random digits.
     pub fn evaluate(&self, means: &[f64], n: usize, seed: u64) -> ExtendedEval {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let digits: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.alphabet.len())).collect();
+        let digits: Vec<usize> = (0..n)
+            .map(|_| rng.gen_range(0..self.alphabet.len()))
+            .collect();
         let durations = self.run_digits(&digits);
         let mut m = ConfusionMatrix::new(self.alphabet.len());
         for (d, dur) in digits.iter().zip(&durations) {
@@ -316,7 +315,11 @@ mod tests {
     fn six_levels_beat_four_in_raw_capacity() {
         let four = evaluate_alphabet(LevelAlphabet::paper4(), 40, 21);
         let six = evaluate_alphabet(LevelAlphabet::phi6(), 40, 21);
-        assert!(four.mi_bits_per_symbol > 1.8, "4-level MI = {}", four.mi_bits_per_symbol);
+        assert!(
+            four.mi_bits_per_symbol > 1.8,
+            "4-level MI = {}",
+            four.mi_bits_per_symbol
+        );
         assert!(
             six.mi_bits_per_symbol > four.mi_bits_per_symbol,
             "6-level MI {} !> 4-level MI {}",

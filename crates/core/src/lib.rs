@@ -64,7 +64,7 @@ pub mod sync;
 pub use attack::{InstructionSpy, SpyPlacement};
 pub use ber::{evaluate, ChannelEval};
 pub use channel::{Calibration, ChannelConfig, ChannelKind, IChannel, Transmission};
-pub use mitigations::{Effectiveness, Mitigation};
 pub use extended::{LevelAlphabet, MultiLevelChannel};
+pub use mitigations::{Effectiveness, Mitigation};
 pub use protocol::{FramedLink, LinkStats};
 pub use symbols::Symbol;

@@ -93,8 +93,15 @@ impl std::fmt::Display for Effectiveness {
 /// Classifies a mitigated channel evaluation against the unmitigated
 /// capacity.
 pub fn classify(mitigated: &ChannelEval, baseline: &ChannelEval) -> Effectiveness {
-    let residual = if baseline.capacity_bps > 0.0 {
-        mitigated.capacity_bps / baseline.capacity_bps
+    classify_capacity(mitigated.capacity_bps, baseline.capacity_bps)
+}
+
+/// Classifies from bare capacities (bits/s) — the entry point for
+/// callers that aggregate trials outside [`ChannelEval`] (for example
+/// the `ichannels-lab` campaign engine).
+pub fn classify_capacity(mitigated_bps: f64, baseline_bps: f64) -> Effectiveness {
+    let residual = if baseline_bps > 0.0 {
+        mitigated_bps / baseline_bps
     } else {
         0.0
     };
@@ -161,7 +168,9 @@ pub fn secure_mode_power_overhead(platform: &PlatformSpec, widest: InstClass) ->
     let freqs = platform.pstates.freqs();
     let freq = freqs[freqs.len() / 2];
     let base_mv = platform.vf_curve.voltage_mv(freq);
-    let gb = platform.guardband().core_guardband_mv(widest, base_mv, freq);
+    let gb = platform
+        .guardband()
+        .core_guardband_mv(widest, base_mv, freq);
     ((base_mv + gb) / base_mv).powi(2) - 1.0
 }
 
@@ -188,7 +197,14 @@ mod tests {
 
     #[test]
     fn improved_throttling_kills_smt_channel_only() {
-        let smt = evaluate_mitigation(Mitigation::ImprovedThrottling, ChannelKind::Smt, &cfg(), 60, 2, 6);
+        let smt = evaluate_mitigation(
+            Mitigation::ImprovedThrottling,
+            ChannelKind::Smt,
+            &cfg(),
+            60,
+            2,
+            6,
+        );
         assert_eq!(smt.effectiveness, Effectiveness::Full, "SMT should die");
         let thread = evaluate_mitigation(
             Mitigation::ImprovedThrottling,
@@ -207,13 +223,15 @@ mod tests {
 
     #[test]
     fn per_core_vr_kills_cross_core_channel() {
-        let cores = evaluate_mitigation(Mitigation::PerCoreVr, ChannelKind::Cores, &cfg(), 60, 2, 7);
+        let cores =
+            evaluate_mitigation(Mitigation::PerCoreVr, ChannelKind::Cores, &cfg(), 60, 2, 7);
         assert_eq!(cores.effectiveness, Effectiveness::Full);
     }
 
     #[test]
     fn per_core_vr_weakens_thread_channel() {
-        let thread = evaluate_mitigation(Mitigation::PerCoreVr, ChannelKind::Thread, &cfg(), 60, 3, 8);
+        let thread =
+            evaluate_mitigation(Mitigation::PerCoreVr, ChannelKind::Thread, &cfg(), 60, 3, 8);
         assert_ne!(
             thread.effectiveness,
             Effectiveness::None,

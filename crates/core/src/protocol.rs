@@ -28,7 +28,7 @@ fn encode_frame(seq: u8, payload: &[u8]) -> Vec<Symbol> {
     let bits = bytes_to_bits(&framed);
     let coded = Hamming74.encode(&bits); // 11 bytes → 88 bits → 154 bits
     let mut padded = coded;
-    if padded.len() % 2 != 0 {
+    if !padded.len().is_multiple_of(2) {
         padded.push(false);
     }
     bits_to_symbols(&padded)
@@ -108,13 +108,20 @@ impl<'a> FramedLink<'a> {
             frames_recovered: 0,
         };
         let mut recovered: Vec<Option<Vec<u8>>> = vec![None; chunks.len()];
-        for _round in 0..self.redundancy {
+        for round in 0..self.redundancy {
             for (seq, chunk) in chunks.iter().enumerate() {
                 if recovered[seq].is_some() {
                     continue; // receiver already has this frame
                 }
+                // Every repeat happens later in wall-clock time, so it
+                // must see fresh OS-noise arrivals: advance the SoC seed
+                // per round. (Replaying the identical noise stream would
+                // make redundancy useless against a deterministic hit.)
+                let mut channel = self.channel.clone();
+                channel.config_mut().soc.seed =
+                    self.channel.config().soc.seed.wrapping_add(round as u64);
                 let symbols = encode_frame(seq as u8, chunk);
-                let tx = self.channel.transmit_symbols(&symbols, self.cal);
+                let tx = channel.transmit_symbols(&symbols, self.cal);
                 stats.frames_sent += 1;
                 match decode_frame(&tx.received) {
                     Some((rx_seq, data)) if rx_seq as usize == seq => {
@@ -183,9 +190,17 @@ mod tests {
             .clone()
             .with_noise(NoiseConfig::ctx_switches_only(2_000.0));
         let cal = ch.calibrate(3);
-        let link = FramedLink::new(&ch, &cal, 6);
+        // At 2000 ctx-switches/s roughly every other frame takes an
+        // uncorrectable hit; a deep redundancy budget is what makes the
+        // one-way link reliable (§6.3: "send the secret value many
+        // times").
+        let link = FramedLink::new(&ch, &cal, 12);
         let payload = b"0123456789abcdef";
         let (rx, stats) = link.transfer(payload);
         assert_eq!(rx.as_deref(), Some(&payload[..]), "stats = {stats:?}");
+        assert!(
+            stats.frames_corrupt > 0,
+            "noise should corrupt at least one frame copy"
+        );
     }
 }

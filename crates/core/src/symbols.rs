@@ -64,7 +64,7 @@ impl std::fmt::Display for Symbol {
 ///
 /// Panics if the bit count is odd.
 pub fn bits_to_symbols(bits: &[bool]) -> Vec<Symbol> {
-    assert!(bits.len() % 2 == 0, "bit count must be even");
+    assert!(bits.len().is_multiple_of(2), "bit count must be even");
     bits.chunks(2)
         .map(|p| Symbol::from_bits(p[0], p[1]))
         .collect()

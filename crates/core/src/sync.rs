@@ -21,7 +21,12 @@ use crate::symbols::Symbol;
 /// informative — every level boundary is exercised.
 pub fn default_preamble() -> Vec<Symbol> {
     let mut p: Vec<Symbol> = Symbol::ALL.to_vec();
-    p.extend([Symbol::new(3), Symbol::new(0), Symbol::new(2), Symbol::new(1)]);
+    p.extend([
+        Symbol::new(3),
+        Symbol::new(0),
+        Symbol::new(2),
+        Symbol::new(1),
+    ]);
     p
 }
 
@@ -43,7 +48,7 @@ pub struct SyncResult {
 pub fn with_receiver_offset(mut cfg: ChannelConfig, offset: SimTime) -> ChannelConfig {
     // The receiver measures from its (possibly wrong) grid; shifting the
     // cross-core delay models the skew without touching the sender.
-    cfg.cross_core_delay = cfg.cross_core_delay + offset;
+    cfg.cross_core_delay += offset;
     cfg
 }
 

@@ -1,0 +1,184 @@
+//! Ready-made campaigns: named grids answering the evaluation questions
+//! the ROADMAP keeps asking, plus the run-and-export driver.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ichannels::channel::ChannelKind;
+use ichannels::mitigations::Mitigation;
+use ichannels_meter::export::JsonlWriter;
+
+use crate::exec::Executor;
+use crate::grid::Grid;
+use crate::report::{records_to_csv, summaries_to_csv, summarize_cells, CellSummary, TrialRecord};
+use crate::scenario::{ChannelSelect, NoiseSpec, PlatformId};
+
+/// A completed campaign: raw trials plus per-cell aggregates.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name (used for export file names).
+    pub name: String,
+    /// Raw trial records, in grid enumeration order.
+    pub records: Vec<TrialRecord>,
+    /// Per-cell aggregates, sorted by cell key.
+    pub cells: Vec<CellSummary>,
+}
+
+impl CampaignReport {
+    /// Writes `{name}_trials.jsonl`, `{name}_trials.csv`, and
+    /// `{name}_cells.csv` under `dir`; returns the paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        let jsonl_path = dir.join(format!("{}_trials.jsonl", self.name));
+        let mut writer = JsonlWriter::create(&jsonl_path)?;
+        for record in &self.records {
+            writer.write_row(&record.jsonl_row())?;
+        }
+        writer.finish()?;
+        let trials_path = dir.join(format!("{}_trials.csv", self.name));
+        records_to_csv(&self.records).write_to(&trials_path)?;
+        let cells_path = dir.join(format!("{}_cells.csv", self.name));
+        summaries_to_csv(&self.cells).write_to(&cells_path)?;
+        Ok(vec![jsonl_path, trials_path, cells_path])
+    }
+}
+
+/// Runs a grid on `executor` and aggregates it into a report.
+pub fn run(name: &str, grid: &Grid, executor: Executor) -> CampaignReport {
+    let records = executor.run(&grid.scenarios());
+    let cells = summarize_cells(&records);
+    CampaignReport {
+        name: name.to_string(),
+        records,
+        cells,
+    }
+}
+
+/// Client-vs-server sweep: all three channels across the client
+/// platforms and the §6.4 server extrapolation, quiet vs low noise.
+/// Answers "do the channels carry over beyond the paper's parts?".
+pub fn client_vs_server(quick: bool) -> Grid {
+    Grid::new()
+        .platforms(vec![
+            PlatformId::CannonLake,
+            PlatformId::CoffeeLake,
+            PlatformId::SkylakeServer,
+        ])
+        .kinds(&[ChannelKind::Thread, ChannelKind::Smt, ChannelKind::Cores])
+        .noises(vec![NoiseSpec::Quiet, NoiseSpec::Low])
+        .payload_symbols(if quick { 8 } else { 40 })
+        .calib_reps(if quick { 2 } else { 3 })
+        .trials(if quick { 1 } else { 3 })
+        .base_seed(0x00C1_1E57)
+}
+
+/// Noise-robustness sweep: the same-thread channel under interrupt and
+/// context-switch storms across four orders of magnitude (Figure 14(a)
+/// generalized to every rate × both event kinds at once).
+pub fn noise_robustness(quick: bool) -> Grid {
+    let mut noises = vec![NoiseSpec::Quiet];
+    for rate in [10.0, 100.0, 1_000.0, 10_000.0] {
+        noises.push(NoiseSpec::Interrupts(rate));
+        noises.push(NoiseSpec::CtxSwitches(rate));
+    }
+    Grid::new()
+        .kinds(&[ChannelKind::Thread])
+        .noises(noises)
+        .payload_symbols(if quick { 40 } else { 250 })
+        .calib_reps(3)
+        .trials(if quick { 1 } else { 3 })
+        .base_seed(0x0014_015E)
+}
+
+/// Mitigation-coverage sweep: every §7 mitigation set (including the
+/// all-three stack) against every channel — Table 1 generalized to
+/// combined defenses.
+pub fn mitigation_coverage(quick: bool) -> Grid {
+    Grid::new()
+        .kinds(&[ChannelKind::Thread, ChannelKind::Smt, ChannelKind::Cores])
+        .mitigation_sets(vec![
+            vec![],
+            vec![Mitigation::PerCoreVr],
+            vec![Mitigation::ImprovedThrottling],
+            vec![Mitigation::SecureMode],
+            vec![
+                Mitigation::PerCoreVr,
+                Mitigation::ImprovedThrottling,
+                Mitigation::SecureMode,
+            ],
+        ])
+        .payload_symbols(if quick { 24 } else { 60 })
+        .calib_reps(if quick { 2 } else { 3 })
+        .base_seed(0x7AB_1E1)
+}
+
+/// Every named campaign, for CLI dispatch: `(name, grid builder)`.
+pub fn catalog(quick: bool) -> Vec<(&'static str, Grid)> {
+    vec![
+        ("client_vs_server", client_vs_server(quick)),
+        ("noise_robustness", noise_robustness(quick)),
+        ("mitigation_coverage", mitigation_coverage(quick)),
+    ]
+}
+
+/// Convenience used by the figure harnesses: a single-platform grid
+/// over explicit channel selections.
+pub fn channel_shootout(
+    channels: Vec<ChannelSelect>,
+    payload_symbols: usize,
+    base_seed: u64,
+) -> Grid {
+    Grid::new()
+        .channels(channels)
+        .payload_symbols(payload_symbols)
+        .calib_reps(3)
+        .base_seed(base_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let cat = catalog(true);
+        assert_eq!(cat.len(), 3);
+        let mut names: Vec<&str> = cat.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn quick_campaigns_have_expected_shape() {
+        // client_vs_server: 3 platforms × 3 kinds × 2 noises, minus the
+        // SMT hole on Coffee Lake (no SMT) → 16 scenarios.
+        assert_eq!(client_vs_server(true).cardinality(), 18);
+        assert_eq!(client_vs_server(true).scenarios().len(), 16);
+        // noise_robustness: 1 × 9 noises.
+        assert_eq!(noise_robustness(true).scenarios().len(), 9);
+        // mitigation_coverage: 3 kinds × 5 sets.
+        assert_eq!(mitigation_coverage(true).scenarios().len(), 15);
+    }
+
+    #[test]
+    fn report_files_round_trip() {
+        let grid = Grid::new().payload_symbols(4);
+        let report = run("unit", &grid, Executor::serial());
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.cells.len(), 1);
+        let dir = std::env::temp_dir().join("ichannels_lab_report_test");
+        let paths = report.write_to(&dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert!(p.exists(), "{} missing", p.display());
+        }
+        let jsonl = std::fs::read_to_string(&paths[0]).unwrap();
+        assert_eq!(jsonl.lines().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

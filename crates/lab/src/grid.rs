@@ -1,0 +1,317 @@
+//! Cartesian sweep construction: a [`Grid`] multiplies axis lists into
+//! the scenarios of a campaign.
+//!
+//! Every axis has a sensible default so callers only override what they
+//! sweep. Per-trial seeds are derived from a stable hash of the cell
+//! key and the trial index (not from enumeration order), so filtering
+//! unsupported combinations — e.g. IccSMTcovert on the SMT-less Coffee
+//! Lake — does not shift the seeds of the remaining cells.
+
+use ichannels::channel::ChannelKind;
+use ichannels::mitigations::Mitigation;
+
+use crate::scenario::{mix, AppSpec, ChannelSelect, NoiseSpec, PayloadSpec, PlatformId, Scenario};
+
+/// FNV-1a over a string, for stable per-cell seed derivation.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A declarative Cartesian sweep over scenario axes.
+///
+/// # Examples
+///
+/// ```
+/// use ichannels_lab::grid::Grid;
+/// use ichannels_lab::scenario::{ChannelSelect, NoiseSpec, PlatformId};
+/// use ichannels::channel::ChannelKind;
+///
+/// let grid = Grid::new()
+///     .platforms(vec![PlatformId::CannonLake, PlatformId::CoffeeLake])
+///     .kinds(&[ChannelKind::Thread, ChannelKind::Smt, ChannelKind::Cores])
+///     .noises(vec![NoiseSpec::Quiet, NoiseSpec::Low])
+///     .payload_symbols(8);
+/// // 2 platforms × 3 kinds × 2 noises = 12 raw cells; Coffee Lake has
+/// // no SMT, so 2 cells are filtered out.
+/// assert_eq!(grid.cardinality(), 12);
+/// assert_eq!(grid.scenarios().len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grid {
+    platforms: Vec<PlatformId>,
+    channels: Vec<ChannelSelect>,
+    noises: Vec<NoiseSpec>,
+    mitigation_sets: Vec<Vec<Mitigation>>,
+    apps: Vec<Option<AppSpec>>,
+    payloads: Vec<PayloadSpec>,
+    payload_symbols: usize,
+    calib_reps: usize,
+    freq_ghz: Option<f64>,
+    trials: u32,
+    base_seed: u64,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid::new()
+    }
+}
+
+impl Grid {
+    /// A 1×1×… grid: quiet Cannon Lake, same-thread channel, no
+    /// mitigations, no app, 24 random symbols, one trial.
+    pub fn new() -> Self {
+        Grid {
+            platforms: vec![PlatformId::CannonLake],
+            channels: vec![ChannelSelect::Icc(ChannelKind::Thread)],
+            noises: vec![NoiseSpec::Quiet],
+            mitigation_sets: vec![vec![]],
+            apps: vec![None],
+            payloads: vec![PayloadSpec::Random],
+            payload_symbols: 24,
+            calib_reps: 2,
+            freq_ghz: None,
+            trials: 1,
+            base_seed: 0x1C4A_11AB,
+        }
+    }
+
+    /// Sets the platform axis.
+    pub fn platforms(mut self, platforms: Vec<PlatformId>) -> Self {
+        assert!(!platforms.is_empty(), "platform axis must not be empty");
+        self.platforms = platforms;
+        self
+    }
+
+    /// Sets the channel axis.
+    pub fn channels(mut self, channels: Vec<ChannelSelect>) -> Self {
+        assert!(!channels.is_empty(), "channel axis must not be empty");
+        self.channels = channels;
+        self
+    }
+
+    /// Convenience: channel axis from plain [`ChannelKind`]s (4-level
+    /// IChannels).
+    pub fn kinds(self, kinds: &[ChannelKind]) -> Self {
+        self.channels(kinds.iter().map(|&k| ChannelSelect::Icc(k)).collect())
+    }
+
+    /// Sets the noise axis.
+    pub fn noises(mut self, noises: Vec<NoiseSpec>) -> Self {
+        assert!(!noises.is_empty(), "noise axis must not be empty");
+        self.noises = noises;
+        self
+    }
+
+    /// Sets the mitigation-set axis (each entry is one set to apply
+    /// together; the empty set is the unmitigated baseline).
+    pub fn mitigation_sets(mut self, sets: Vec<Vec<Mitigation>>) -> Self {
+        assert!(!sets.is_empty(), "mitigation axis must not be empty");
+        self.mitigation_sets = sets;
+        self
+    }
+
+    /// Sets the concurrent-app axis (`None` entries run undisturbed).
+    pub fn apps(mut self, apps: Vec<Option<AppSpec>>) -> Self {
+        assert!(!apps.is_empty(), "app axis must not be empty");
+        self.apps = apps;
+        self
+    }
+
+    /// Sets the payload-shape axis.
+    pub fn payloads(mut self, payloads: Vec<PayloadSpec>) -> Self {
+        assert!(!payloads.is_empty(), "payload axis must not be empty");
+        self.payloads = payloads;
+        self
+    }
+
+    /// Sets the number of symbols per trial.
+    pub fn payload_symbols(mut self, n: usize) -> Self {
+        assert!(n > 0, "payload must contain at least one symbol");
+        self.payload_symbols = n;
+        self
+    }
+
+    /// Sets calibration repetitions per level.
+    pub fn calib_reps(mut self, reps: usize) -> Self {
+        assert!(reps > 0, "calibration needs at least one repetition");
+        self.calib_reps = reps;
+        self
+    }
+
+    /// Pins every scenario at `ghz` instead of the platform default.
+    pub fn freq_ghz(mut self, ghz: f64) -> Self {
+        assert!(ghz > 0.0, "frequency must be positive");
+        self.freq_ghz = Some(ghz);
+        self
+    }
+
+    /// Sets the number of independent trials per cell.
+    pub fn trials(mut self, trials: u32) -> Self {
+        assert!(trials > 0, "need at least one trial per cell");
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the campaign master seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Raw Cartesian cardinality — the full cross product of all axes
+    /// times the trial count, before platform-support filtering.
+    pub fn cardinality(&self) -> usize {
+        self.platforms.len()
+            * self.channels.len()
+            * self.noises.len()
+            * self.mitigation_sets.len()
+            * self.apps.len()
+            * self.payloads.len()
+            * self.trials as usize
+    }
+
+    /// Enumerates the runnable scenarios in deterministic axis order
+    /// (platform → channel → noise → mitigations → app → payload →
+    /// trial), dropping combinations the platform cannot host.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.cardinality());
+        for &platform in &self.platforms {
+            for &channel in &self.channels {
+                for &noise in &self.noises {
+                    for mitigations in &self.mitigation_sets {
+                        for &app in &self.apps {
+                            for &payload in &self.payloads {
+                                for trial in 0..self.trials {
+                                    let mut s = Scenario {
+                                        platform,
+                                        channel,
+                                        noise,
+                                        mitigations: mitigations.clone(),
+                                        app,
+                                        payload,
+                                        payload_symbols: self.payload_symbols,
+                                        calib_reps: self.calib_reps,
+                                        freq_ghz: self.freq_ghz,
+                                        trial,
+                                        seed: 0,
+                                    };
+                                    if !s.supported() {
+                                        continue;
+                                    }
+                                    s.seed = mix(
+                                        self.base_seed ^ fnv1a(&s.cell_key()),
+                                        u64::from(trial),
+                                    );
+                                    out.push(s);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_one_cell() {
+        let g = Grid::new();
+        assert_eq!(g.cardinality(), 1);
+        assert_eq!(g.scenarios().len(), 1);
+    }
+
+    #[test]
+    fn cardinality_is_the_full_cross_product() {
+        let g = Grid::new()
+            .platforms(vec![PlatformId::CannonLake, PlatformId::CoffeeLake])
+            .kinds(&[ChannelKind::Thread, ChannelKind::Smt, ChannelKind::Cores])
+            .noises(vec![NoiseSpec::Quiet, NoiseSpec::Low])
+            .trials(3);
+        assert_eq!(g.cardinality(), 2 * 3 * 2 * 3);
+        // Coffee Lake cannot host IccSMTcovert: 2 noise × 3 trials drop.
+        assert_eq!(g.scenarios().len(), g.cardinality() - 6);
+    }
+
+    #[test]
+    fn seeds_are_stable_under_axis_filtering() {
+        let sweep = Grid::new()
+            .platforms(vec![PlatformId::CannonLake, PlatformId::CoffeeLake])
+            .kinds(&[ChannelKind::Thread, ChannelKind::Smt]);
+        let narrow = Grid::new()
+            .platforms(vec![PlatformId::CannonLake, PlatformId::CoffeeLake])
+            .kinds(&[ChannelKind::Thread]);
+        let seed_of = |scenarios: &[Scenario], key: &str| {
+            scenarios
+                .iter()
+                .find(|s| s.cell_key().contains(key))
+                .map(|s| s.seed)
+                .expect("cell present")
+        };
+        let wide = sweep.scenarios();
+        let thin = narrow.scenarios();
+        // The Thread cells keep their seeds whether or not the SMT axis
+        // value (and its filtered Coffee Lake hole) is present.
+        assert_eq!(
+            seed_of(&wide, "coffee_lake/IccThreadCovert"),
+            seed_of(&thin, "coffee_lake/IccThreadCovert"),
+        );
+    }
+
+    #[test]
+    fn baselines_only_materialize_in_their_published_setup() {
+        use crate::scenario::{BaselineKind, ChannelSelect};
+        // Baselines ignore platform/noise axes, so off-default cells
+        // must be filtered rather than exported with false labels.
+        let g = Grid::new()
+            .platforms(vec![PlatformId::CannonLake, PlatformId::SkylakeServer])
+            .channels(vec![
+                ChannelSelect::Icc(ChannelKind::Thread),
+                ChannelSelect::Baseline(BaselineKind::NetSpectre),
+            ])
+            .noises(vec![NoiseSpec::Quiet, NoiseSpec::High])
+            .trials(2);
+        let scenarios = g.scenarios();
+        let baselines: Vec<_> = scenarios
+            .iter()
+            .filter(|s| matches!(s.channel, ChannelSelect::Baseline(_)))
+            .collect();
+        assert_eq!(baselines.len(), 1, "one honest baseline cell");
+        let b = baselines[0];
+        assert_eq!(b.platform, PlatformId::CannonLake);
+        assert_eq!(b.noise, NoiseSpec::Quiet);
+        assert_eq!(b.trial, 0);
+        // The IChannel cells keep the full sweep: 2 platforms × 2
+        // noises × 2 trials.
+        assert_eq!(scenarios.len() - 1, 8);
+    }
+
+    #[test]
+    fn trials_get_distinct_seeds() {
+        let g = Grid::new().trials(4);
+        let scenarios = g.scenarios();
+        let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "trial seeds must differ");
+    }
+
+    #[test]
+    fn base_seed_changes_every_trial_seed() {
+        let a = Grid::new().trials(2).base_seed(1).scenarios();
+        let b = Grid::new().trials(2).base_seed(2).scenarios();
+        for (x, y) in a.iter().zip(&b) {
+            assert_ne!(x.seed, y.seed);
+        }
+    }
+}

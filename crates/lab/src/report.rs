@@ -1,0 +1,295 @@
+//! Trial records, per-cell aggregation, and CSV/JSONL rendering.
+//!
+//! Raw trials stream to JSONL (one object per line, byte-stable field
+//! order); cells aggregate through [`ichannels_meter::stats`] into
+//! summary rows (mean/σ BER, throughput distribution percentiles,
+//! capacity) rendered as CSV.
+
+use std::collections::BTreeMap;
+
+use ichannels_meter::export::{CsvTable, JsonlRow};
+use ichannels_meter::stats::{percentile, summarize, Summary};
+
+use crate::scenario::{mitigations_label, AppSpec, Scenario};
+
+/// Flat per-trial measurements. Metrics that do not apply to a channel
+/// family (e.g. 2-bit BER on a 7-level alphabet, capacity on a
+/// baseline) are `NaN` and render as JSON `null` / empty CSV cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialMetrics {
+    /// Bit error rate (2-bit symbols).
+    pub ber: f64,
+    /// Symbol error rate.
+    pub ser: f64,
+    /// Gross throughput (bits/s).
+    pub throughput_bps: f64,
+    /// Effective capacity (bits/s): bias-corrected MI × symbol rate.
+    pub capacity_bps: f64,
+    /// Bias-corrected mutual information per transaction (bits).
+    pub mi_bits_per_symbol: f64,
+    /// Minimum separation between adjacent calibrated levels (cycles).
+    pub min_separation_cycles: f64,
+    /// Number of payload symbols evaluated.
+    pub n_symbols: usize,
+}
+
+/// One completed trial: the scenario plus its measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// The scenario that produced this record.
+    pub scenario: Scenario,
+    /// The measurements.
+    pub metrics: TrialMetrics,
+}
+
+impl TrialRecord {
+    /// Renders the record as one JSONL row (stable field order).
+    pub fn jsonl_row(&self) -> JsonlRow {
+        let s = &self.scenario;
+        let m = &self.metrics;
+        JsonlRow::new()
+            .str("cell", &s.cell_key())
+            .str("platform", s.platform.label())
+            .str("channel", &s.channel.label())
+            .str("noise", &s.noise.label())
+            .str("mitigations", &mitigations_label(&s.mitigations))
+            .str(
+                "app",
+                &s.app.map_or_else(|| "noapp".to_string(), AppSpec::label),
+            )
+            .str("payload", &s.payload.label())
+            .int("trial", u64::from(s.trial))
+            .int("seed", s.seed)
+            .int("n_symbols", m.n_symbols as u64)
+            .num("ber", m.ber)
+            .num("ser", m.ser)
+            .num("throughput_bps", m.throughput_bps)
+            .num("capacity_bps", m.capacity_bps)
+            .num("mi_bits_per_symbol", m.mi_bits_per_symbol)
+            .num("min_separation_cycles", m.min_separation_cycles)
+    }
+}
+
+fn csv_float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        String::new()
+    }
+}
+
+/// The CSV header shared by [`records_to_csv`].
+pub const TRIAL_CSV_HEADER: [&str; 16] = [
+    "cell",
+    "platform",
+    "channel",
+    "noise",
+    "mitigations",
+    "app",
+    "payload",
+    "trial",
+    "seed",
+    "n_symbols",
+    "ber",
+    "ser",
+    "throughput_bps",
+    "capacity_bps",
+    "mi_bits_per_symbol",
+    "min_separation_cycles",
+];
+
+/// Renders raw trial records as one CSV table.
+pub fn records_to_csv(records: &[TrialRecord]) -> CsvTable {
+    let mut table = CsvTable::new(TRIAL_CSV_HEADER);
+    for r in records {
+        let s = &r.scenario;
+        let m = &r.metrics;
+        table.push_row([
+            s.cell_key(),
+            s.platform.label().to_string(),
+            s.channel.label(),
+            s.noise.label(),
+            mitigations_label(&s.mitigations),
+            s.app.map_or_else(|| "noapp".to_string(), AppSpec::label),
+            s.payload.label(),
+            s.trial.to_string(),
+            s.seed.to_string(),
+            m.n_symbols.to_string(),
+            csv_float(m.ber),
+            csv_float(m.ser),
+            csv_float(m.throughput_bps),
+            csv_float(m.capacity_bps),
+            csv_float(m.mi_bits_per_symbol),
+            csv_float(m.min_separation_cycles),
+        ]);
+    }
+    table
+}
+
+/// Renders records as one in-memory JSONL document (used by the
+/// determinism tests and `--stdout` tooling).
+pub fn records_to_jsonl(records: &[TrialRecord]) -> String {
+    let rows: Vec<JsonlRow> = records.iter().map(TrialRecord::jsonl_row).collect();
+    ichannels_meter::export::jsonl_to_string(rows.iter())
+}
+
+/// Aggregated statistics of one grid cell (all trials of one axis
+/// combination).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// The cell key (every axis except the trial index).
+    pub cell: String,
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// BER summary over trials with a defined BER.
+    pub ber: Option<Summary>,
+    /// Throughput summary (b/s).
+    pub throughput: Option<Summary>,
+    /// Throughput distribution percentiles `(p5, p50, p95)`.
+    pub throughput_percentiles: Option<(f64, f64, f64)>,
+    /// Capacity summary (b/s).
+    pub capacity: Option<Summary>,
+    /// Mean minimum level separation (cycles).
+    pub mean_min_separation: Option<f64>,
+}
+
+fn finite(records: &[&TrialRecord], f: impl Fn(&TrialMetrics) -> f64) -> Vec<f64> {
+    records
+        .iter()
+        .map(|r| f(&r.metrics))
+        .filter(|v| v.is_finite())
+        .collect()
+}
+
+/// Groups records by cell key and aggregates each group. Output is
+/// sorted by cell key, so summaries are deterministic.
+pub fn summarize_cells(records: &[TrialRecord]) -> Vec<CellSummary> {
+    let mut groups: BTreeMap<String, Vec<&TrialRecord>> = BTreeMap::new();
+    for r in records {
+        groups.entry(r.scenario.cell_key()).or_default().push(r);
+    }
+    groups
+        .into_iter()
+        .map(|(cell, group)| {
+            let bers = finite(&group, |m| m.ber);
+            let tps = finite(&group, |m| m.throughput_bps);
+            let caps = finite(&group, |m| m.capacity_bps);
+            let seps = finite(&group, |m| m.min_separation_cycles);
+            CellSummary {
+                cell,
+                trials: group.len(),
+                ber: (!bers.is_empty()).then(|| summarize(&bers)),
+                throughput: (!tps.is_empty()).then(|| summarize(&tps)),
+                throughput_percentiles: (!tps.is_empty()).then(|| {
+                    (
+                        percentile(&tps, 5.0),
+                        percentile(&tps, 50.0),
+                        percentile(&tps, 95.0),
+                    )
+                }),
+                capacity: (!caps.is_empty()).then(|| summarize(&caps)),
+                mean_min_separation: (!seps.is_empty())
+                    .then(|| seps.iter().sum::<f64>() / seps.len() as f64),
+            }
+        })
+        .collect()
+}
+
+/// Renders cell summaries as one CSV table.
+pub fn summaries_to_csv(cells: &[CellSummary]) -> CsvTable {
+    let mut table = CsvTable::new([
+        "cell",
+        "trials",
+        "ber_mean",
+        "ber_std",
+        "throughput_mean_bps",
+        "throughput_p5_bps",
+        "throughput_p50_bps",
+        "throughput_p95_bps",
+        "capacity_mean_bps",
+        "min_separation_cycles",
+    ]);
+    for c in cells {
+        let (p5, p50, p95) = c
+            .throughput_percentiles
+            .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        table.push_row([
+            c.cell.clone(),
+            c.trials.to_string(),
+            c.ber.map_or_else(String::new, |s| csv_float(s.mean)),
+            c.ber.map_or_else(String::new, |s| csv_float(s.std_dev)),
+            c.throughput.map_or_else(String::new, |s| csv_float(s.mean)),
+            csv_float(p5),
+            csv_float(p50),
+            csv_float(p95),
+            c.capacity.map_or_else(String::new, |s| csv_float(s.mean)),
+            c.mean_min_separation.map_or_else(String::new, csv_float),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::scenario::NoiseSpec;
+    use ichannels::channel::ChannelKind;
+
+    fn sample_records() -> Vec<TrialRecord> {
+        let grid = Grid::new()
+            .kinds(&[ChannelKind::Thread])
+            .noises(vec![NoiseSpec::Quiet, NoiseSpec::Low])
+            .trials(2)
+            .payload_symbols(6);
+        crate::exec::Executor::serial().run(&grid.scenarios())
+    }
+
+    #[test]
+    fn jsonl_rows_carry_every_axis() {
+        let records = sample_records();
+        let json = records_to_jsonl(&records);
+        assert_eq!(json.lines().count(), records.len());
+        let first = json.lines().next().unwrap();
+        for key in [
+            "cell", "platform", "channel", "noise", "trial", "seed", "ber",
+        ] {
+            assert!(first.contains(&format!("\"{key}\":")), "{first}");
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_record() {
+        let records = sample_records();
+        let table = records_to_csv(&records);
+        assert_eq!(table.len(), records.len());
+    }
+
+    #[test]
+    fn cells_group_trials() {
+        let records = sample_records();
+        let cells = summarize_cells(&records);
+        assert_eq!(cells.len(), 2, "quiet and low noise cells");
+        for c in &cells {
+            assert_eq!(c.trials, 2);
+            assert!(c.ber.is_some());
+            assert!(c.throughput.is_some());
+            let (p5, p50, p95) = c.throughput_percentiles.unwrap();
+            assert!(p5 <= p50 && p50 <= p95);
+        }
+        assert_eq!(summaries_to_csv(&cells).len(), 2);
+    }
+
+    #[test]
+    fn nan_metrics_render_as_null_and_empty() {
+        let mut records = sample_records();
+        records[0].metrics.capacity_bps = f64::NAN;
+        let json = records_to_jsonl(&records[..1]);
+        assert!(json.contains("\"capacity_bps\":null"), "{json}");
+        let table = records_to_csv(&records[..1]);
+        // The NaN capacity column renders empty between its neighbors.
+        assert!(table.to_csv().lines().nth(1).unwrap().contains(",,"));
+        let cells = summarize_cells(&records[..1]);
+        assert!(cells[0].capacity.is_none());
+    }
+}

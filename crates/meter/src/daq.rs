@@ -177,8 +177,14 @@ mod tests {
             ..Default::default()
         });
         let got = daq.acquire(&trace, SimTime::ZERO, SimTime::from_us(100.0));
-        let early = got.iter().find(|s| s.time < SimTime::from_us(50.0)).unwrap();
-        let late = got.iter().find(|s| s.time > SimTime::from_us(50.0)).unwrap();
+        let early = got
+            .iter()
+            .find(|s| s.time < SimTime::from_us(50.0))
+            .unwrap();
+        let late = got
+            .iter()
+            .find(|s| s.time > SimTime::from_us(50.0))
+            .unwrap();
         assert_eq!(early.vcc_mv, 700.0);
         assert_eq!(late.vcc_mv, 720.0);
     }

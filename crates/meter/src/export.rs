@@ -1,11 +1,14 @@
-//! CSV export for regenerated figures/tables.
+//! CSV and JSONL export for regenerated figures/tables and campaigns.
 //!
 //! Every benchmark harness writes its series to `results/*.csv` so the
-//! paper's plots can be regenerated with any plotting tool.
+//! paper's plots can be regenerated with any plotting tool. The
+//! experiment-campaign engine (`ichannels-lab`) additionally streams one
+//! JSON object per trial to `results/*.jsonl` via [`JsonlWriter`].
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::path::Path;
 
 /// A rectangular table destined for CSV.
@@ -68,13 +71,8 @@ impl CsvTable {
             }
         }
         let mut out = String::new();
-        let render = |cells: &[String]| {
-            cells
-                .iter()
-                .map(|c| field(c))
-                .collect::<Vec<_>>()
-                .join(",")
-        };
+        let render =
+            |cells: &[String]| cells.iter().map(|c| field(c)).collect::<Vec<_>>().join(",");
         let _ = writeln!(out, "{}", render(&self.header));
         for row in &self.rows {
             let _ = writeln!(out, "{}", render(row));
@@ -94,6 +92,157 @@ impl CsvTable {
         }
         fs::write(path, self.to_csv())
     }
+}
+
+/// One JSON object assembled field by field, preserving insertion order
+/// (so identical runs produce byte-identical lines).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JsonlRow {
+    fields: Vec<(String, String)>, // key → pre-rendered JSON value
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonlRow {
+    /// An empty row.
+    pub fn new() -> Self {
+        JsonlRow::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let rendered = format!("\"{}\"", json_escape(value));
+        self.push(key, rendered)
+    }
+
+    /// Appends a float field (`null` for non-finite values).
+    pub fn num(self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            // Shortest round-trip formatting keeps rows compact and
+            // byte-stable across runs.
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.push(key, rendered)
+    }
+
+    /// Appends an integer field.
+    pub fn int(self, key: &str, value: u64) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the row has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Renders the row as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Streams [`JsonlRow`]s to a file, one JSON object per line.
+///
+/// Rows are written (and flushed through a [`io::BufWriter`]) as they
+/// arrive, so long campaigns expose partial results while running.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    out: io::BufWriter<fs::File>,
+    rows: usize,
+}
+
+impl JsonlWriter {
+    /// Creates (truncates) `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file open.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        Ok(JsonlWriter {
+            out: io::BufWriter::new(fs::File::create(path)?),
+            rows: 0,
+        })
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn write_row(&mut self, row: &JsonlRow) -> io::Result<()> {
+        writeln!(self.out, "{}", row.to_json())?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows written so far.
+    pub fn rows_written(&self) -> usize {
+        self.rows
+    }
+
+    /// Flushes and closes the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error.
+    pub fn finish(mut self) -> io::Result<usize> {
+        self.out.flush()?;
+        Ok(self.rows)
+    }
+}
+
+/// Renders rows to one JSONL string (for in-memory comparisons).
+pub fn jsonl_to_string<'a, I: IntoIterator<Item = &'a JsonlRow>>(rows: I) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let _ = writeln!(out, "{}", row.to_json());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -117,7 +266,10 @@ mod tests {
     fn quotes_special_fields() {
         let mut t = CsvTable::new(["x"]);
         t.push_row(["hello, \"world\""]);
-        assert_eq!(t.to_csv().lines().nth(1).unwrap(), "\"hello, \"\"world\"\"\"");
+        assert_eq!(
+            t.to_csv().lines().nth(1).unwrap(),
+            "\"hello, \"\"world\"\"\""
+        );
     }
 
     #[test]
@@ -137,5 +289,52 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("42"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_row_renders_in_insertion_order() {
+        let row = JsonlRow::new()
+            .str("name", "IccSMTcovert")
+            .num("ber", 0.25)
+            .int("n", 40)
+            .bool("ok", true);
+        assert_eq!(
+            row.to_json(),
+            "{\"name\":\"IccSMTcovert\",\"ber\":0.25,\"n\":40,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn jsonl_escapes_and_nulls() {
+        let row = JsonlRow::new()
+            .str("s", "a\"b\\c\nd")
+            .num("bad", f64::NAN)
+            .num("inf", f64::INFINITY);
+        assert_eq!(
+            row.to_json(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"bad\":null,\"inf\":null}"
+        );
+    }
+
+    #[test]
+    fn jsonl_writer_streams_lines() {
+        let dir = std::env::temp_dir().join("ichannels_jsonl_test");
+        let path = dir.join("t.jsonl");
+        let mut w = JsonlWriter::create(&path).unwrap();
+        for i in 0..3u64 {
+            w.write_row(&JsonlRow::new().int("i", i)).unwrap();
+        }
+        assert_eq!(w.rows_written(), 3);
+        assert_eq!(w.finish().unwrap(), 3);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines, ["{\"i\":0}", "{\"i\":1}", "{\"i\":2}"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_to_string_matches_writer_output() {
+        let rows = [JsonlRow::new().int("i", 0), JsonlRow::new().str("x", "y")];
+        assert_eq!(jsonl_to_string(rows.iter()), "{\"i\":0}\n{\"x\":\"y\"}\n");
     }
 }

@@ -80,8 +80,7 @@ impl Series {
         for i in 0..n {
             let lo = i.saturating_sub(k);
             let hi = (i + k + 1).min(n);
-            let mean =
-                self.points[lo..hi].iter().map(|(_, v)| v).sum::<f64>() / (hi - lo) as f64;
+            let mean = self.points[lo..hi].iter().map(|(_, v)| v).sum::<f64>() / (hi - lo) as f64;
             out.push((self.points[i].0, mean));
         }
         Series { points: out }

@@ -241,19 +241,19 @@ impl ConfusionMatrix {
         // Joint p(x,y), marginals p(x), p(y).
         let mut px = vec![0.0; self.k];
         let mut py = vec![0.0; self.k];
-        for x in 0..self.k {
-            for y in 0..self.k {
+        for (x, px_x) in px.iter_mut().enumerate() {
+            for (y, py_y) in py.iter_mut().enumerate() {
                 let p = self.count(x, y) as f64 / n;
-                px[x] += p;
-                py[y] += p;
+                *px_x += p;
+                *py_y += p;
             }
         }
         let mut mi = 0.0;
-        for x in 0..self.k {
-            for y in 0..self.k {
+        for (x, &px_x) in px.iter().enumerate() {
+            for (y, &py_y) in py.iter().enumerate() {
                 let pxy = self.count(x, y) as f64 / n;
-                if pxy > 0.0 && px[x] > 0.0 && py[y] > 0.0 {
-                    mi += pxy * (pxy / (px[x] * py[y])).log2();
+                if pxy > 0.0 && px_x > 0.0 && py_y > 0.0 {
+                    mi += pxy * (pxy / (px_x * py_y)).log2();
                 }
             }
         }

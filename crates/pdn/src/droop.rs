@@ -76,12 +76,7 @@ impl DroopModel {
     /// The minimum VR output voltage that keeps the load above `Vccmin`
     /// through a `delta_icc_a` step at final current `icc_after_a` —
     /// i.e., the guardband requirement expressed from the droop side.
-    pub fn required_vcc_mv(
-        &self,
-        loadline: &LoadLine,
-        icc_after_a: f64,
-        delta_icc_a: f64,
-    ) -> f64 {
+    pub fn required_vcc_mv(&self, loadline: &LoadLine, icc_after_a: f64, delta_icc_a: f64) -> f64 {
         // Tiny epsilon so the inverse check is robust to f64 rounding.
         self.vccmin_mv + loadline.drop_mv(icc_after_a) + self.peak_droop_mv(delta_icc_a) + 1e-6
     }
@@ -135,9 +130,10 @@ mod tests {
         let freq = Freq::from_ghz(3.0);
         // Keep Vccmin realistic relative to the operating point.
         let base_mv = droop.required_vcc_mv(&ll, 6.0, 2.0); // scalar-safe baseline
-        let delta_icc =
-            gb.cdyn().delta_from_scalar_nf(InstClass::Heavy512) * 1e-9 * (base_mv * 1e-3)
-                * freq.as_hz() as f64;
+        let delta_icc = gb.cdyn().delta_from_scalar_nf(InstClass::Heavy512)
+            * 1e-9
+            * (base_mv * 1e-3)
+            * freq.as_hz() as f64;
         let icc_after = 6.0 + delta_icc;
         // Without the guardband: emergency.
         assert!(

@@ -254,9 +254,7 @@ mod tests {
         let per_core_delta = GuardbandModel::PER_CORE_SHARE
             * (m.core_guardband_mv(InstClass::Heavy512, 760.0, f)
                 - m.core_guardband_mv(InstClass::Light128, 760.0, f));
-        assert!(
-            (with_high_app - with_low_app - shared_delta - per_core_delta).abs() < 1e-9
-        );
+        assert!((with_high_app - with_low_app - shared_delta - per_core_delta).abs() < 1e-9);
     }
 
     #[test]

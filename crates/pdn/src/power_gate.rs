@@ -164,7 +164,10 @@ mod tests {
         assert_eq!(pg.state(), GateState::Open);
         pg.close();
         assert_eq!(pg.state(), GateState::Open);
-        assert_eq!(pg.request_open(SimTime::from_ns(3.0)), SimTime::from_ns(3.0));
+        assert_eq!(
+            pg.request_open(SimTime::from_ns(3.0)),
+            SimTime::from_ns(3.0)
+        );
     }
 
     #[test]

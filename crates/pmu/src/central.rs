@@ -194,7 +194,10 @@ impl CentralPmu {
         let initial_mv = if cfg.secure_mode {
             // Secure mode: start (and stay) at the worst-case guardband.
             let per_core = if cfg.per_core_vr { 1 } else { cfg.n_cores };
-            base_mv + cfg.guardband.secure_mode_guardband_mv(per_core, base_mv, freq)
+            base_mv
+                + cfg
+                    .guardband
+                    .secure_mode_guardband_mv(per_core, base_mv, freq)
         } else {
             base_mv
         };
@@ -313,10 +316,7 @@ impl CentralPmu {
 
     /// The next instant at which any core's license decays, if any.
     pub fn next_decay(&self, now: SimTime) -> Option<SimTime> {
-        self.licenses
-            .iter()
-            .filter_map(|l| l.next_decay(now))
-            .min()
+        self.licenses.iter().filter_map(|l| l.next_decay(now)).min()
     }
 
     /// Processes license decays at `now`: recomputes rail targets and

@@ -160,10 +160,19 @@ mod tests {
     #[test]
     fn highest_not_above() {
         let t = table();
-        assert_eq!(t.highest_not_above(Freq::from_ghz(2.8)), Freq::from_ghz(2.6));
-        assert_eq!(t.highest_not_above(Freq::from_ghz(3.5)), Freq::from_ghz(3.1));
+        assert_eq!(
+            t.highest_not_above(Freq::from_ghz(2.8)),
+            Freq::from_ghz(2.6)
+        );
+        assert_eq!(
+            t.highest_not_above(Freq::from_ghz(3.5)),
+            Freq::from_ghz(3.1)
+        );
         // Below the lowest P-state: clamp to the lowest.
-        assert_eq!(t.highest_not_above(Freq::from_ghz(0.5)), Freq::from_ghz(1.0));
+        assert_eq!(
+            t.highest_not_above(Freq::from_ghz(0.5)),
+            Freq::from_ghz(1.0)
+        );
     }
 
     #[test]

@@ -329,6 +329,28 @@ impl PlatformSpec {
         ]
     }
 
+    /// Every platform the workspace can simulate: the three paper
+    /// platforms plus the §6.4 server extrapolation. This is the
+    /// catalog campaign sweeps draw from.
+    pub fn catalog() -> Vec<PlatformSpec> {
+        vec![
+            PlatformSpec::haswell(),
+            PlatformSpec::coffee_lake(),
+            PlatformSpec::cannon_lake(),
+            PlatformSpec::skylake_server(),
+        ]
+    }
+
+    /// Looks a catalog platform up by a case-insensitive substring of
+    /// its marketing name (`"cannon"`, `"coffee"`, `"haswell"`,
+    /// `"server"`, …); `None` when nothing matches.
+    pub fn by_name(name: &str) -> Option<PlatformSpec> {
+        let needle = name.to_ascii_lowercase();
+        PlatformSpec::catalog()
+            .into_iter()
+            .find(|p| p.name.to_ascii_lowercase().contains(&needle))
+    }
+
     /// Builds the guardband model of this platform.
     pub fn guardband(&self) -> GuardbandModel {
         GuardbandModel::new(self.cdyn.clone(), self.rll_mohm)
@@ -336,7 +358,12 @@ impl PlatformSpec {
 
     /// Builds the current model of this platform.
     pub fn current_model(&self) -> CurrentModel {
-        CurrentModel::new(self.cdyn.clone(), self.base_current_a, self.leakage_a, 0.004)
+        CurrentModel::new(
+            self.cdyn.clone(),
+            self.base_current_a,
+            self.leakage_a,
+            0.004,
+        )
     }
 
     /// Number of hardware threads per core (1 or 2).
@@ -443,8 +470,22 @@ mod tests {
     use super::*;
 
     #[test]
+    fn catalog_lookup_by_name() {
+        assert_eq!(
+            PlatformSpec::by_name("cannon").unwrap().name,
+            PlatformSpec::cannon_lake().name
+        );
+        assert_eq!(
+            PlatformSpec::by_name("SERVER").unwrap().name,
+            PlatformSpec::skylake_server().name
+        );
+        assert!(PlatformSpec::by_name("pentium").is_none());
+        assert_eq!(PlatformSpec::catalog().len(), 4);
+    }
+
+    #[test]
     fn presets_are_consistent() {
-        for p in PlatformSpec::all() {
+        for p in PlatformSpec::catalog() {
             assert!(p.n_cores >= 2);
             assert!(p.pstates.max() <= p.vf_curve.max_freq());
             assert!(p.tsc_freq.as_hz() > 0);
@@ -467,7 +508,10 @@ mod tests {
     fn coffee_lake_matches_paper_numbers() {
         let p = PlatformSpec::coffee_lake();
         assert_eq!(p.n_cores, 8);
-        assert!(!p.smt, "i7-9700K has no SMT (the paper tests IccSMTcovert only on Cannon Lake)");
+        assert!(
+            !p.smt,
+            "i7-9700K has no SMT (the paper tests IccSMTcovert only on Cannon Lake)"
+        );
         assert_eq!(p.limits.vccmax_mv(), 1270.0);
         assert_eq!(p.limits.iccmax_a(), 100.0);
     }
@@ -479,8 +523,7 @@ mod tests {
         // FIVR is faster than the MBVR parts (Figure 8(a)).
         let d = 30.0;
         assert!(
-            p.vr_model.transition_time(d)
-                < PlatformSpec::coffee_lake().vr_model.transition_time(d)
+            p.vr_model.transition_time(d) < PlatformSpec::coffee_lake().vr_model.transition_time(d)
         );
     }
 

@@ -334,7 +334,10 @@ impl Soc {
                 }
             }
         }
-        panic!("program on ({core},{smt}) livelocked at {now}", now = self.now);
+        panic!(
+            "program on ({core},{smt}) livelocked at {now}",
+            now = self.now
+        );
     }
 
     /// Begins a `Run` block: power-gate wake, turbo/frequency management,
@@ -441,7 +444,11 @@ impl Soc {
     /// and electrical limits; requests a P-state change if needed.
     fn retarget_frequency(&mut self) {
         let p = &self.cfg.platform;
-        let load = if self.active_core_count() > 0 { 1.0 } else { 0.0 };
+        let load = if self.active_core_count() > 0 {
+            1.0
+        } else {
+            0.0
+        };
         let desired = self.cfg.governor.requested_freq(&p.pstates, load);
         let lic = self.demanded_turbo_license();
         let active = self.active_core_count().max(1);
@@ -491,7 +498,9 @@ impl Soc {
             .collect();
         loop {
             let base = p.vf_curve.voltage_mv(candidate);
-            let vcc = base + p.guardband().package_guardband_mv(&projected, base, candidate);
+            let vcc = base
+                + p.guardband()
+                    .package_guardband_mv(&projected, base, candidate);
             let icc = self
                 .current_model
                 .icc_a(&acts, vcc, candidate, self.thermal.temp_c());
@@ -521,9 +530,7 @@ impl Soc {
         let gated = self.now < c.throttled_until;
         match self.cfg.throttle_policy {
             ThrottlePolicy::BlockEntireCore => gated,
-            ThrottlePolicy::PerThreadPhiOnly => {
-                gated && c.throttle_cause == smt && class.is_phi()
-            }
+            ThrottlePolicy::PerThreadPhiOnly => gated && c.throttle_cause == smt && class.is_phi(),
         }
     }
 
@@ -707,8 +714,7 @@ impl Soc {
             for si in 0..self.cores[ci].ctxs.len() {
                 let due = match self.cores[ci].ctxs[si].state {
                     CtxState::Running { remaining, .. } => {
-                        remaining <= COMPLETION_EPS
-                            && self.cores[ci].ctxs[si].paused_until <= now
+                        remaining <= COMPLETION_EPS && self.cores[ci].ctxs[si].paused_until <= now
                     }
                     CtxState::Waiting { until } => until <= now,
                     CtxState::Idle => false,
@@ -871,9 +877,17 @@ mod tests {
         soc.run_until(soc.now() + SimTime::from_ms(1.0)); // decay
 
         let mut soc = pinned_cannon(1.4);
-        soc.spawn(0, 1, Box::new(Script::run_loop(InstClass::Heavy512, 14_000)));
+        soc.spawn(
+            0,
+            1,
+            Box::new(Script::run_loop(InstClass::Heavy512, 14_000)),
+        );
         let start = soc.now();
-        soc.spawn(0, 0, Box::new(Script::run_loop(InstClass::Scalar64, 28_000)));
+        soc.spawn(
+            0,
+            0,
+            Box::new(Script::run_loop(InstClass::Scalar64, 28_000)),
+        );
         // Run until the scalar loop's thread is done.
         while soc.inst_retired(0, 0) < 27_999.0 && soc.now() < SimTime::from_ms(5.0) {
             soc.run_until(soc.now() + SimTime::from_us(1.0));
@@ -890,9 +904,17 @@ mod tests {
         let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4))
             .with_improved_throttling();
         let mut soc = Soc::new(cfg);
-        soc.spawn(0, 1, Box::new(Script::run_loop(InstClass::Heavy512, 14_000)));
+        soc.spawn(
+            0,
+            1,
+            Box::new(Script::run_loop(InstClass::Heavy512, 14_000)),
+        );
         let start = soc.now();
-        soc.spawn(0, 0, Box::new(Script::run_loop(InstClass::Scalar64, 28_000)));
+        soc.spawn(
+            0,
+            0,
+            Box::new(Script::run_loop(InstClass::Scalar64, 28_000)),
+        );
         while soc.inst_retired(0, 0) < 27_999.0 && soc.now() < SimTime::from_ms(5.0) {
             soc.run_until(soc.now() + SimTime::from_us(1.0));
         }
@@ -905,10 +927,18 @@ mod tests {
     fn cross_core_requests_extend_receiver_tp() {
         // Observation 3.
         let mut soc = pinned_cannon(1.4);
-        soc.spawn(0, 0, Box::new(Script::run_loop(InstClass::Heavy512, 30_000)));
+        soc.spawn(
+            0,
+            0,
+            Box::new(Script::run_loop(InstClass::Heavy512, 30_000)),
+        );
         soc.run_until(SimTime::from_ns(200.0)); // "within a few hundred cycles"
         let start = soc.now();
-        soc.spawn(1, 0, Box::new(Script::run_loop(InstClass::Heavy128, 10_000)));
+        soc.spawn(
+            1,
+            0,
+            Box::new(Script::run_loop(InstClass::Heavy128, 10_000)),
+        );
         let end = soc.run_until_idle(SimTime::from_ms(5.0));
         let d_both = end - start;
 
@@ -923,8 +953,8 @@ mod tests {
 
     #[test]
     fn secure_mode_eliminates_throttling() {
-        let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4))
-            .with_secure_mode();
+        let cfg =
+            SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4)).with_secure_mode();
         let mut soc = Soc::new(cfg);
         let d = loop_duration(&mut soc, InstClass::Heavy512, 14_000);
         assert!((d.as_us() - 10.0).abs() < 0.5, "d = {d}");
@@ -1004,7 +1034,11 @@ mod tests {
             let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4))
                 .with_noise(crate::noise::NoiseConfig::low());
             let mut soc = Soc::new(cfg);
-            soc.spawn(0, 0, Box::new(Script::run_loop(InstClass::Heavy256, 50_000)));
+            soc.spawn(
+                0,
+                0,
+                Box::new(Script::run_loop(InstClass::Heavy256, 50_000)),
+            );
             soc.run_until_idle(SimTime::from_ms(10.0))
         };
         assert_eq!(mk(), mk());

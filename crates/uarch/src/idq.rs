@@ -260,7 +260,11 @@ impl Idq {
         // our register-only loops).
         for (i, d) in demands.iter().enumerate() {
             if d.active {
-                let delivered = if i == 0 { result.t0_uops } else { result.t1_uops };
+                let delivered = if i == 0 {
+                    result.t0_uops
+                } else {
+                    result.t1_uops
+                };
                 // When both threads are active each thread's view of the
                 // interface is half the slots.
                 let view = if demands[0].active && demands[1].active {

@@ -62,7 +62,10 @@ impl SimTime {
     ///
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "invalid nanosecond value: {ns}");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "invalid nanosecond value: {ns}"
+        );
         SimTime((ns * PS_PER_NS as f64).round() as u64)
     }
 
@@ -72,7 +75,10 @@ impl SimTime {
     ///
     /// Panics if `us` is negative or not finite.
     pub fn from_us(us: f64) -> Self {
-        assert!(us.is_finite() && us >= 0.0, "invalid microsecond value: {us}");
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "invalid microsecond value: {us}"
+        );
         SimTime((us * PS_PER_US as f64).round() as u64)
     }
 
@@ -82,7 +88,10 @@ impl SimTime {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_ms(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "invalid millisecond value: {ms}");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "invalid millisecond value: {ms}"
+        );
         SimTime((ms * PS_PER_MS as f64).round() as u64)
     }
 

@@ -243,12 +243,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_rejected() {
-        let _ = RandomPhiApp::new(
-            0.0,
-            1,
-            vec![InstClass::Heavy256],
-            SimTime::from_ms(1.0),
-            1,
-        );
+        let _ = RandomPhiApp::new(0.0, 1, vec![InstClass::Heavy256], SimTime::from_ms(1.0), 1);
     }
 }

@@ -337,7 +337,11 @@ mod tests {
     fn preceded_loop_reproduces_figure_10b_ordering() {
         // Heavier preceding class ⇒ shorter measured TP of 512b-Heavy.
         let mut tps = Vec::new();
-        for prev in [InstClass::Light128, InstClass::Heavy256, InstClass::Heavy512] {
+        for prev in [
+            InstClass::Light128,
+            InstClass::Heavy256,
+            InstClass::Heavy512,
+        ] {
             let mut soc = soc14();
             let rec = Recorder::new();
             soc.spawn(

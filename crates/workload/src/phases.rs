@@ -87,11 +87,17 @@ impl PhaseProgram {
         let mut elapsed = SimTime::ZERO;
         let mut avx = false;
         // Irregular-ish alternation (solver bursts longer than assembly).
-        let pattern_us = [180_000.0, 120_000.0, 260_000.0, 90_000.0, 210_000.0, 140_000.0];
+        let pattern_us = [
+            180_000.0, 120_000.0, 260_000.0, 90_000.0, 210_000.0, 140_000.0,
+        ];
         let mut k = 0usize;
         while elapsed < total {
             let d = SimTime::from_us(pattern_us[k % pattern_us.len()]);
-            let d = if elapsed + d > total { total - elapsed } else { d };
+            let d = if elapsed + d > total {
+                total - elapsed
+            } else {
+                d
+            };
             phases.push(Phase {
                 class: Some(if avx {
                     InstClass::Heavy256
@@ -174,8 +180,7 @@ mod tests {
     fn three_phase_sequence_steps_frequency_down() {
         // Figure 7(b): at the performance governor on the mobile part,
         // each successive phase lowers the sustained frequency.
-        let cfg = SocConfig::quiet(PlatformSpec::cannon_lake())
-            .with_trace(SimTime::from_us(200.0));
+        let cfg = SocConfig::quiet(PlatformSpec::cannon_lake()).with_trace(SimTime::from_us(200.0));
         let mut soc = Soc::new(cfg);
         soc.spawn(
             0,

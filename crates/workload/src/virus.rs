@@ -44,12 +44,15 @@ mod tests {
         soc.run_until(SimTime::from_us(400.0));
         let setpoint = soc.pmu().package_setpoint_mv();
         // Both cores at 512b-Heavy: the largest possible guardband.
-        let gb = soc
-            .config()
-            .platform
-            .guardband()
-            .secure_mode_guardband_mv(2, base, Freq::from_ghz(1.4));
-        assert!((setpoint - (base + gb)).abs() < 0.5, "setpoint = {setpoint}");
+        let gb = soc.config().platform.guardband().secure_mode_guardband_mv(
+            2,
+            base,
+            Freq::from_ghz(1.4),
+        );
+        assert!(
+            (setpoint - (base + gb)).abs() < 0.5,
+            "setpoint = {setpoint}"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@ fn tp_us(platform: &PlatformSpec, freq: Freq, class: InstClass) -> f64 {
     let mut soc = Soc::new(SocConfig::pinned(platform.clone(), freq));
     let insts = instructions_for_duration(class, freq, SimTime::from_us(60.0));
     let rec = Recorder::new();
-    soc.spawn(0, 0, Box::new(MeasuredLoop::once(class, insts, rec.clone())));
+    soc.spawn(
+        0,
+        0,
+        Box::new(MeasuredLoop::once(class, insts, rec.clone())),
+    );
     soc.run_until_idle(SimTime::from_ms(5.0));
     let measured = rec.durations_us(soc.tsc())[0];
     let base = insts as f64 / nominal_ipc(class) / freq.as_hz() as f64 * 1e6;
@@ -51,7 +55,11 @@ fn main() {
     soc.spawn(
         0,
         0,
-        Box::new(MeasuredLoop::once(InstClass::Scalar64, scalar_insts, rec.clone())),
+        Box::new(MeasuredLoop::once(
+            InstClass::Scalar64,
+            scalar_insts,
+            rec.clone(),
+        )),
     );
     soc.run_until_idle(SimTime::from_ms(2.0));
     let alone = rec.durations_us(soc.tsc())[0];
@@ -59,11 +67,19 @@ fn main() {
     let mut soc = Soc::new(SocConfig::pinned(p.clone(), freq));
     let rec = Recorder::new();
     let phi_insts = instructions_for_duration(InstClass::Heavy512, freq, SimTime::from_us(20.0));
-    soc.spawn(0, 1, Box::new(Script::run_loop(InstClass::Heavy512, phi_insts)));
+    soc.spawn(
+        0,
+        1,
+        Box::new(Script::run_loop(InstClass::Heavy512, phi_insts)),
+    );
     soc.spawn(
         0,
         0,
-        Box::new(MeasuredLoop::once(InstClass::Scalar64, scalar_insts, rec.clone())),
+        Box::new(MeasuredLoop::once(
+            InstClass::Scalar64,
+            scalar_insts,
+            rec.clone(),
+        )),
     );
     soc.run_until_idle(SimTime::from_ms(2.0));
     let with_phi = rec.durations_us(soc.tsc())[0];

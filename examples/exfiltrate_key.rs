@@ -32,7 +32,7 @@ fn main() {
     let framed = frame_with_crc(&key);
     let coded_bits = {
         let mut bits = bytes_to_bits(&framed);
-        if bits.len() % 4 != 0 {
+        if !bits.len().is_multiple_of(4) {
             bits.resize(bits.len() + 4 - bits.len() % 4, false);
         }
         Hamming74.encode(&bits)

@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example mitigation_demo`
 
 use ichannels::channel::{ChannelConfig, ChannelKind};
-use ichannels::mitigations::{
-    evaluate_mitigation, secure_mode_power_overhead, Mitigation,
-};
+use ichannels::mitigations::{evaluate_mitigation, secure_mode_power_overhead, Mitigation};
 use ichannels_soc::config::PlatformSpec;
 use ichannels_uarch::isa::InstClass;
 

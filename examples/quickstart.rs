@@ -19,10 +19,9 @@ fn main() {
     //    (0,0), receiver on (0,1)).
     let channel = IChannel::icc_smt_covert();
     println!(
-        "channel: {} on {} ({} per transaction)",
+        "channel: {} on {} (2 bits per transaction)",
         channel.kind(),
         channel.config().soc.platform.name,
-        "2 bits"
     );
 
     // 2. Calibrate: learn the four throttling-period levels.

@@ -7,6 +7,8 @@
 //! (`tests/`) have a single dependency.
 //!
 //! * [`ichannels`] — the covert channels, baselines, and mitigations;
+//! * [`ichannels_lab`] — the parallel experiment-campaign engine
+//!   (scenario grids, worker-pool executor, aggregation, campaigns);
 //! * [`ichannels_soc`] — the event-driven SoC simulator;
 //! * [`ichannels_pmu`] / [`ichannels_pdn`] / [`ichannels_uarch`] — the
 //!   power-management, power-delivery, and microarchitecture substrates;
@@ -17,6 +19,7 @@
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
 
 pub use ichannels;
+pub use ichannels_lab;
 pub use ichannels_meter;
 pub use ichannels_pdn;
 pub use ichannels_pmu;

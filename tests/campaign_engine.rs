@@ -1,0 +1,108 @@
+//! Integration tests of the `ichannels-lab` campaign engine: grid
+//! cardinality, parallel-vs-serial determinism, and an end-to-end smoke
+//! campaign across platforms, channels, and noise levels (the
+//! acceptance sweep: ≥2 platforms × 3 channel kinds × ≥2 noise levels
+//! on a 4-thread pool).
+
+use ichannels_repro::ichannels::channel::ChannelKind;
+use ichannels_repro::ichannels_lab::report::{records_to_jsonl, summaries_to_csv};
+use ichannels_repro::ichannels_lab::scenario::{NoiseSpec, PlatformId};
+use ichannels_repro::ichannels_lab::{campaigns, Executor, Grid};
+
+fn acceptance_grid() -> Grid {
+    Grid::new()
+        .platforms(vec![PlatformId::CannonLake, PlatformId::CoffeeLake])
+        .kinds(&[ChannelKind::Thread, ChannelKind::Smt, ChannelKind::Cores])
+        .noises(vec![NoiseSpec::Quiet, NoiseSpec::Low])
+        .payload_symbols(6)
+        .calib_reps(2)
+}
+
+#[test]
+fn grid_cardinality_counts_the_cross_product() {
+    let grid = acceptance_grid();
+    // 2 platforms × 3 kinds × 2 noises = 12 raw; Coffee Lake has no
+    // SMT, so its 2 SMT cells are filtered.
+    assert_eq!(grid.cardinality(), 12);
+    assert_eq!(grid.scenarios().len(), 10);
+    // Trials multiply the cardinality.
+    assert_eq!(acceptance_grid().trials(5).cardinality(), 60);
+}
+
+#[test]
+fn four_thread_pool_matches_serial_bit_for_bit() {
+    let scenarios = acceptance_grid().scenarios();
+    let serial = Executor::serial().run(&scenarios);
+    let parallel = Executor::new(4).run(&scenarios);
+    // Identical JSONL trial rows…
+    assert_eq!(records_to_jsonl(&serial), records_to_jsonl(&parallel));
+    // …and identical aggregate rows.
+    let serial_cells = campaigns::run("det", &acceptance_grid(), Executor::serial()).cells;
+    let parallel_cells = campaigns::run("det", &acceptance_grid(), Executor::new(4)).cells;
+    assert_eq!(
+        summaries_to_csv(&serial_cells).to_csv(),
+        summaries_to_csv(&parallel_cells).to_csv()
+    );
+}
+
+#[test]
+fn acceptance_campaign_covers_all_three_channel_kinds() {
+    let report = campaigns::run("acceptance", &acceptance_grid(), Executor::new(4));
+    assert_eq!(report.records.len(), 10);
+    for kind in ["IccThreadCovert", "IccSMTcovert", "IccCoresCovert"] {
+        let cells: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.scenario.channel.label() == kind)
+            .collect();
+        assert!(!cells.is_empty(), "{kind} missing from the sweep");
+        for record in cells {
+            assert!(
+                record.metrics.throughput_bps > 2_500.0,
+                "{}: {} b/s",
+                record.scenario.label(),
+                record.metrics.throughput_bps
+            );
+            assert!(
+                record.metrics.min_separation_cycles > 500.0,
+                "{}: separation {}",
+                record.scenario.label(),
+                record.metrics.min_separation_cycles
+            );
+        }
+    }
+    // Aggregation produced one summary row per cell.
+    assert_eq!(report.cells.len(), 10);
+}
+
+#[test]
+fn ready_made_campaigns_run_quick() {
+    for (name, grid) in campaigns::catalog(true) {
+        let report = campaigns::run(name, &grid, Executor::new(4));
+        assert_eq!(
+            report.records.len(),
+            grid.scenarios().len(),
+            "{name} dropped records"
+        );
+        assert!(!report.cells.is_empty(), "{name} has no cells");
+    }
+}
+
+#[test]
+fn campaign_report_streams_jsonl_and_csv() {
+    let dir = std::env::temp_dir().join("ichannels_campaign_engine_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = campaigns::run("itest", &acceptance_grid(), Executor::new(2));
+    let paths = report.write_to(&dir).expect("report written");
+    assert_eq!(paths.len(), 3);
+    let jsonl = std::fs::read_to_string(&paths[0]).expect("jsonl readable");
+    assert_eq!(jsonl.lines().count(), report.records.len());
+    // Every line is one self-describing JSON object.
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"cell\":"), "{line}");
+    }
+    let cells_csv = std::fs::read_to_string(&paths[2]).expect("cells csv readable");
+    assert_eq!(cells_csv.lines().count(), report.cells.len() + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

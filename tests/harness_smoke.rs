@@ -84,7 +84,11 @@ fn fig08_tp_ordering_and_gate_wake() {
             .delta_ns[0]
     };
     // Coffee Lake: 8–15 ns first-iteration penalty; Haswell: none.
-    assert!((8.0..16.0).contains(&first("Coffee")), "{}", first("Coffee"));
+    assert!(
+        (8.0..16.0).contains(&first("Coffee")),
+        "{}",
+        first("Coffee")
+    );
     assert!(first("Haswell").abs() < 1.0, "{}", first("Haswell"));
 }
 
@@ -162,6 +166,66 @@ fn fig14_error_matrix_is_lower_triangular() {
         }
     }
     assert!(dirty >= 2, "interference cells missing: {m:?}");
+}
+
+#[test]
+fn fig12_ratios_match_paper_through_the_engine() {
+    let rows = figs::fig12::run(true);
+    let bps = |name: &str| {
+        rows.iter()
+            .find(|t| t.name == name)
+            .expect("channel present")
+            .bps
+    };
+    // §6.2 headlines: 2× NetSpectre, ~145×/47×/24× the baselines.
+    let ns_ratio = bps("IccThreadCovert") / bps("NetSpectre");
+    assert!(
+        (1.8..2.2).contains(&ns_ratio),
+        "NetSpectre ratio {ns_ratio}"
+    );
+    assert!(bps("IccSMTcovert") / bps("DFScovert") > 100.0);
+    let powert_ratio = bps("IccSMTcovert") / bps("POWERT");
+    assert!(
+        (20.0..28.0).contains(&powert_ratio),
+        "POWERT ratio {powert_ratio}"
+    );
+}
+
+#[test]
+fn table1_verdicts_match_paper_through_the_engine() {
+    use ichannels_repro::ichannels::channel::ChannelKind;
+    use ichannels_repro::ichannels::mitigations::{Effectiveness, Mitigation};
+    let cells = figs::table1::run(true);
+    assert_eq!(cells.len(), 9);
+    let verdict = |m: Mitigation, k: ChannelKind| {
+        cells
+            .iter()
+            .find(|c| c.mitigation == m && c.channel == k)
+            .expect("cell present")
+            .effectiveness
+    };
+    // Secure mode kills every channel.
+    for kind in [ChannelKind::Thread, ChannelKind::Smt, ChannelKind::Cores] {
+        assert_eq!(verdict(Mitigation::SecureMode, kind), Effectiveness::Full);
+    }
+    // Improved throttling kills exactly the SMT channel.
+    assert_eq!(
+        verdict(Mitigation::ImprovedThrottling, ChannelKind::Smt),
+        Effectiveness::Full
+    );
+    assert_eq!(
+        verdict(Mitigation::ImprovedThrottling, ChannelKind::Thread),
+        Effectiveness::None
+    );
+    // Per-core VR kills the cross-core channel and weakens same-thread.
+    assert_eq!(
+        verdict(Mitigation::PerCoreVr, ChannelKind::Cores),
+        Effectiveness::Full
+    );
+    assert_ne!(
+        verdict(Mitigation::PerCoreVr, ChannelKind::Thread),
+        Effectiveness::None
+    );
 }
 
 #[test]

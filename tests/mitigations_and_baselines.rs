@@ -6,9 +6,7 @@ use ichannels_repro::ichannels::baselines::netspectre::NetSpectreChannel;
 use ichannels_repro::ichannels::baselines::powert::PowerTChannel;
 use ichannels_repro::ichannels::baselines::turbocc::TurboCcChannel;
 use ichannels_repro::ichannels::channel::{ChannelConfig, ChannelKind, IChannel};
-use ichannels_repro::ichannels::mitigations::{
-    evaluate_mitigation, Effectiveness, Mitigation,
-};
+use ichannels_repro::ichannels::mitigations::{evaluate_mitigation, Effectiveness, Mitigation};
 
 /// Table 1, row by row. Expected matrix (from the paper):
 ///   Per-core VR:         Thread partial, SMT partial, Cores full
@@ -21,8 +19,14 @@ fn table1_matrix_matches_paper() {
         (
             Mitigation::PerCoreVr,
             [
-                (ChannelKind::Thread, &[Effectiveness::Partial, Effectiveness::Full][..]),
-                (ChannelKind::Smt, &[Effectiveness::Partial, Effectiveness::Full][..]),
+                (
+                    ChannelKind::Thread,
+                    &[Effectiveness::Partial, Effectiveness::Full][..],
+                ),
+                (
+                    ChannelKind::Smt,
+                    &[Effectiveness::Partial, Effectiveness::Full][..],
+                ),
                 (ChannelKind::Cores, &[Effectiveness::Full][..]),
             ],
         ),

@@ -15,7 +15,11 @@ fn tp_us(platform: &PlatformSpec, freq: Freq, class: InstClass, cores: usize) ->
     let mut soc = Soc::new(SocConfig::pinned(platform.clone(), freq));
     let insts = instructions_for_duration(class, freq, SimTime::from_us(60.0));
     let rec = Recorder::new();
-    soc.spawn(0, 0, Box::new(MeasuredLoop::once(class, insts, rec.clone())));
+    soc.spawn(
+        0,
+        0,
+        Box::new(MeasuredLoop::once(class, insts, rec.clone())),
+    );
     for c in 1..cores {
         soc.spawn(c, 0, Box::new(Script::run_loop(class, insts)));
     }
@@ -104,7 +108,11 @@ fn observation2_smt_cothrottling_is_multi_level() {
         soc.spawn(
             0,
             0,
-            Box::new(MeasuredLoop::once(InstClass::Scalar64, scalar_insts, rec.clone())),
+            Box::new(MeasuredLoop::once(
+                InstClass::Scalar64,
+                scalar_insts,
+                rec.clone(),
+            )),
         );
         soc.run_until_idle(SimTime::from_ms(5.0));
         durations.push(rec.values()[0]);
@@ -133,12 +141,15 @@ fn observation3_cross_core_serialization_is_multi_level() {
         soc.spawn(0, 0, Box::new(Script::run_loop(sender, s_insts)));
         soc.run_until(SimTime::from_ns(200.0));
         let rec = Recorder::new();
-        let r_insts =
-            instructions_for_duration(InstClass::Heavy128, freq, SimTime::from_us(10.0));
+        let r_insts = instructions_for_duration(InstClass::Heavy128, freq, SimTime::from_us(10.0));
         soc.spawn(
             1,
             0,
-            Box::new(MeasuredLoop::once(InstClass::Heavy128, r_insts, rec.clone())),
+            Box::new(MeasuredLoop::once(
+                InstClass::Heavy128,
+                r_insts,
+                rec.clone(),
+            )),
         );
         soc.run_until_idle(SimTime::from_ms(5.0));
         tps.push(rec.values()[0]);

@@ -49,8 +49,7 @@ fn server_cross_core_channel_is_socket_wide() {
     let thread_ch = IChannel::new(ChannelKind::Thread, server_cfg(2.0));
     let thread_cal = thread_ch.calibrate(2);
     let low = vec![Symbol::new(0); 10];
-    let deadline =
-        thread_ch.config().start_offset + thread_ch.config().slot_period.scale(12.0);
+    let deadline = thread_ch.config().start_offset + thread_ch.config().slot_period.scale(12.0);
     let tx = thread_ch.transmit_symbols_with(&low, &thread_cal, |soc| {
         soc.spawn(
             27,
