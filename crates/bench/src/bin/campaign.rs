@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Campaigns: `client_vs_server`, `noise_robustness`,
-//! `mitigation_coverage`, or `all`. Results stream to
+//! `mitigation_coverage`, `modulation_capacity`, or `all`. Results
+//! stream to
 //! `results/<name>_trials.jsonl` plus per-trial and per-cell CSVs
 //! (override the directory with `ICHANNELS_RESULTS`).
 
@@ -14,7 +15,7 @@ use ichannels_lab::{campaigns, Executor};
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--campaign NAME|all] [--threads N] [--quick] [--list]\n\
-         campaigns: client_vs_server, noise_robustness, mitigation_coverage"
+         campaigns: client_vs_server, noise_robustness, mitigation_coverage, modulation_capacity"
     );
     std::process::exit(2);
 }

@@ -13,10 +13,11 @@ fn main() {
     figs::fig09::run(quick);
     figs::fig10::run(quick);
     let _ = figs::fig11::run(quick);
+    let _ = figs::fig12::run(quick);
     let _ = figs::fig13::run(quick);
     figs::fig14::run(quick);
     let _ = figs::table1::run(quick);
-    let _ = figs::table2::run(quick); // also regenerates Figure 12
+    let _ = figs::table2::run(quick);
     figs::ablation::run(quick);
     println!();
     println!(

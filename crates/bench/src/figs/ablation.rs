@@ -8,34 +8,55 @@
 //!   and hence the throughput ceiling.
 //! * **Receiver measurement jitter** — how much timing noise the 4-level
 //!   decoding tolerates.
+//!
+//! Each sweep is one `ichannels-lab` grid over the engine's design-knob
+//! axis, executed on the worker pool.
 
-use ichannels::ber::evaluate;
-use ichannels::channel::{ChannelConfig, ChannelKind, IChannel};
+use ichannels_lab::scenario::Knob;
+use ichannels_lab::{Executor, Grid};
 use ichannels_meter::export::CsvTable;
-use ichannels_uarch::time::SimTime;
 
 use crate::{banner, write_csv};
+
+/// Runs a knob sweep of the same-thread channel and returns one record
+/// per knob value, in axis order.
+fn knob_sweep(
+    knobs: Vec<Knob>,
+    payload_symbols: usize,
+    base_seed: u64,
+) -> Vec<(Knob, ichannels_lab::TrialMetrics)> {
+    let grid = Grid::new()
+        .knobs(knobs.into_iter().map(Some).collect())
+        .payload_symbols(payload_symbols)
+        .calib_reps(3)
+        .base_seed(base_seed);
+    Executor::auto()
+        .run(&grid.scenarios())
+        .into_iter()
+        .map(|r| (r.scenario.knob.expect("knob axis set"), r.metrics))
+        .collect()
+}
 
 /// Sweeps the VR slew rate; returns `(slew_mv_per_us, capacity_bps, ber)`.
 pub fn run_slew_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
     banner("Ablation: VR slew rate vs channel capacity (IccThreadCovert)");
     let n = if quick { 30 } else { 80 };
+    let knobs = [1.2, 2.4, 4.8, 9.6, 19.2, 80.0]
+        .iter()
+        .map(|&v| Knob::VrSlew(v))
+        .collect();
     let mut rows = Vec::new();
     let mut csv = CsvTable::new(["slew_mv_per_us", "capacity_bps", "ber"]);
-    for slew in [1.2, 2.4, 4.8, 9.6, 19.2, 80.0] {
-        let mut cfg = ChannelConfig::default_cannon_lake();
-        cfg.soc.platform.vr_model.slew_mv_per_us = slew;
-        let ch = IChannel::new(ChannelKind::Thread, cfg);
-        let cal = ch.calibrate(3);
-        let ev = evaluate(&ch, &cal, n, 0x51E);
+    for (knob, metrics) in knob_sweep(knobs, n, 0x51E) {
+        let Knob::VrSlew(slew) = knob else {
+            unreachable!("slew axis only")
+        };
         println!(
             "  slew {slew:>5.1} mV/µs → capacity {:>7.0} b/s, BER {:.3}, min separation {:>6.0} cycles",
-            ev.capacity_bps,
-            ev.ber,
-            cal.min_separation_cycles()
+            metrics.capacity_bps, metrics.ber, metrics.min_separation_cycles
         );
-        csv.push_floats([slew, ev.capacity_bps, ev.ber]);
-        rows.push((slew, ev.capacity_bps, ev.ber));
+        csv.push_floats([slew, metrics.capacity_bps, metrics.ber]);
+        rows.push((slew, metrics.capacity_bps, metrics.ber));
     }
     println!("  (faster regulators compress the levels: the §7 LDO mitigation, quantified)");
     write_csv(&csv, "ablation_slew.csv");
@@ -47,22 +68,22 @@ pub fn run_slew_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
 pub fn run_reset_time_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
     banner("Ablation: reset-time vs throughput (the transaction-period floor)");
     let n = if quick { 20 } else { 60 };
+    let knobs = [150.0, 325.0, 650.0, 1_300.0]
+        .iter()
+        .map(|&us| Knob::ResetTimeUs(us))
+        .collect();
     let mut rows = Vec::new();
     let mut csv = CsvTable::new(["reset_time_us", "throughput_bps", "ber"]);
-    for reset_us in [150.0, 325.0, 650.0, 1_300.0] {
-        let mut cfg = ChannelConfig::default_cannon_lake();
-        cfg.soc.platform.reset_time = SimTime::from_us(reset_us);
-        // The protocol adapts: slot = reset-time + 40 µs transaction.
-        cfg.slot_period = SimTime::from_us(reset_us + 40.0);
-        let ch = IChannel::new(ChannelKind::Thread, cfg);
-        let cal = ch.calibrate(3);
-        let ev = evaluate(&ch, &cal, n, 0x7E5);
+    for (knob, metrics) in knob_sweep(knobs, n, 0x7E5) {
+        let Knob::ResetTimeUs(reset_us) = knob else {
+            unreachable!("reset axis only")
+        };
         println!(
             "  reset {reset_us:>6.0} µs → throughput {:>7.0} b/s, BER {:.3}",
-            ev.throughput_bps, ev.ber
+            metrics.throughput_bps, metrics.ber
         );
-        csv.push_floats([reset_us, ev.throughput_bps, ev.ber]);
-        rows.push((reset_us, ev.throughput_bps, ev.ber));
+        csv.push_floats([reset_us, metrics.throughput_bps, metrics.ber]);
+        rows.push((reset_us, metrics.throughput_bps, metrics.ber));
     }
     println!("  (a processor with a shorter hysteresis would leak *faster*)");
     write_csv(&csv, "ablation_reset_time.csv");
@@ -73,17 +94,19 @@ pub fn run_reset_time_sweep(quick: bool) -> Vec<(f64, f64, f64)> {
 pub fn run_jitter_sweep(quick: bool) -> Vec<(f64, f64)> {
     banner("Ablation: receiver timing jitter vs BER");
     let n = if quick { 30 } else { 100 };
+    let knobs = [0.0, 150.0, 400.0, 800.0, 1_600.0]
+        .iter()
+        .map(|&ns| Knob::MeasurementJitterNs(ns))
+        .collect();
     let mut rows = Vec::new();
     let mut csv = CsvTable::new(["jitter_sigma_ns", "ber"]);
-    for sigma_ns in [0.0, 150.0, 400.0, 800.0, 1_600.0] {
-        let mut cfg = ChannelConfig::default_cannon_lake();
-        cfg.measurement_jitter = SimTime::from_ns(sigma_ns);
-        let ch = IChannel::new(ChannelKind::Thread, cfg);
-        let cal = ch.calibrate(3);
-        let ev = evaluate(&ch, &cal, n, 0x717);
-        println!("  σ = {sigma_ns:>6.0} ns → BER {:.3}", ev.ber);
-        csv.push_floats([sigma_ns, ev.ber]);
-        rows.push((sigma_ns, ev.ber));
+    for (knob, metrics) in knob_sweep(knobs, n, 0x717) {
+        let Knob::MeasurementJitterNs(sigma_ns) = knob else {
+            unreachable!("jitter axis only")
+        };
+        println!("  σ = {sigma_ns:>6.0} ns → BER {:.3}", metrics.ber);
+        csv.push_floats([sigma_ns, metrics.ber]);
+        rows.push((sigma_ns, metrics.ber));
     }
     write_csv(&csv, "ablation_jitter.csv");
     rows

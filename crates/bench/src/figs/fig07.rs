@@ -9,14 +9,17 @@
 //! governor: the frequency steps down per phase, Icc stays below Iccmax,
 //! and the junction temperature stays far below Tjmax (Key Conclusion 2:
 //! this is current management, not thermal management).
+//!
+//! (a) is an `ichannels-lab` grid of operating-point probes (one grid
+//! per platform so each sweeps its own frequencies); (b) is a trace
+//! experiment executed by the engine.
 
+use ichannels_lab::scenario::{ChannelSelect, PlatformId, ProbeKind};
+use ichannels_lab::{Executor, Grid, TraceProgram, TraceSpec, TrialRecord};
 use ichannels_meter::export::CsvTable;
-use ichannels_pdn::current::CoreActivity;
-use ichannels_soc::config::{PlatformSpec, SocConfig};
-use ichannels_soc::sim::Soc;
+use ichannels_soc::config::PlatformSpec;
 use ichannels_uarch::isa::InstClass;
 use ichannels_uarch::time::{Freq, SimTime};
-use ichannels_workload::phases::PhaseProgram;
 
 use crate::{banner, write_csv};
 
@@ -37,80 +40,66 @@ pub struct OperatingPoint {
     pub violation: Option<String>,
 }
 
-/// Computes the projected (unprotected) operating point — the paper's
-/// green-bordered bars.
-fn project(
-    platform: &PlatformSpec,
-    freq: Freq,
-    class: InstClass,
-    active_cores: usize,
-    system: &str,
-    workload: &str,
-) -> OperatingPoint {
-    let base = platform.vf_curve.voltage_mv(freq);
-    let classes: Vec<Option<InstClass>> = (0..platform.n_cores)
-        .map(|i| if i < active_cores { Some(class) } else { None })
-        .collect();
-    let vcc = base
-        + platform
-            .guardband()
-            .package_guardband_mv(&classes, base, freq);
-    let acts: Vec<CoreActivity> = (0..platform.n_cores)
-        .map(|i| {
-            if i < active_cores {
-                CoreActivity::busy(class)
-            } else {
-                CoreActivity::IDLE
-            }
-        })
-        .collect();
-    let icc = platform.current_model().icc_a(&acts, vcc, freq, 60.0);
+/// The Figure 7(a) probe grid of one platform: both workloads at both
+/// candidate frequencies.
+fn limits_grid(platform: PlatformId, freqs_mhz: [u32; 2], cores: u8) -> Grid {
+    let mut channels = Vec::new();
+    for freq_mhz in freqs_mhz {
+        for class in [InstClass::Scalar64, InstClass::Heavy256] {
+            channels.push(ChannelSelect::Probe(ProbeKind::OperatingPoint {
+                class,
+                freq_mhz,
+                cores,
+            }));
+        }
+    }
+    Grid::new()
+        .platforms(vec![platform])
+        .channels(channels)
+        .base_seed(0x07A)
+}
+
+/// Renders one operating-point record as a Figure 7(a) row.
+fn to_row(record: &TrialRecord, system_prefix: &str) -> OperatingPoint {
+    let ChannelSelect::Probe(ProbeKind::OperatingPoint {
+        class, freq_mhz, ..
+    }) = record.scenario.channel
+    else {
+        unreachable!("operating-point grid only")
+    };
+    let spec = record.scenario.platform.spec();
+    let vcc_mv = record.metrics.probe_value;
+    let icc_a = record.metrics.probe_aux;
     OperatingPoint {
-        system: system.to_string(),
-        freq,
-        workload: workload.to_string(),
-        vcc_mv: vcc,
-        icc_a: icc,
-        violation: platform.limits.check(vcc, icc).map(|v| v.to_string()),
+        system: format!("{system_prefix} {:.1}GHz", f64::from(freq_mhz) / 1000.0),
+        freq: Freq::from_mhz(f64::from(freq_mhz)),
+        workload: if class == InstClass::Heavy256 {
+            "AVX2".to_string()
+        } else {
+            "Non-AVX".to_string()
+        },
+        vcc_mv,
+        icc_a,
+        violation: spec.limits.check(vcc_mv, icc_a).map(|v| v.to_string()),
     }
 }
 
 /// Runs Figure 7(a); returns the operating-point table.
 pub fn run_limits(_quick: bool) -> Vec<OperatingPoint> {
     banner("Figure 7(a): Vccmax/Iccmax protection — projected operating points");
-    let desktop = PlatformSpec::coffee_lake();
-    let mobile = PlatformSpec::cannon_lake();
-    let mut rows = Vec::new();
-    for (freq, label) in [(4.9, "4.9GHz"), (4.8, "4.8GHz")] {
-        for (class, wl) in [
-            (InstClass::Scalar64, "Non-AVX"),
-            (InstClass::Heavy256, "AVX2"),
-        ] {
-            rows.push(project(
-                &desktop,
-                Freq::from_ghz(freq),
-                class,
-                1,
-                &format!("Desktop i7-9700K {label}"),
-                wl,
-            ));
-        }
-    }
-    for (freq, label) in [(3.1, "3.1GHz"), (2.2, "2.2GHz")] {
-        for (class, wl) in [
-            (InstClass::Scalar64, "Non-AVX"),
-            (InstClass::Heavy256, "AVX2"),
-        ] {
-            rows.push(project(
-                &mobile,
-                Freq::from_ghz(freq),
-                class,
-                2,
-                &format!("Mobile i3-8121U {label}"),
-                wl,
-            ));
-        }
-    }
+    let executor = Executor::auto();
+    let mut rows: Vec<OperatingPoint> = executor
+        .run(&limits_grid(PlatformId::CoffeeLake, [4900, 4800], 1).scenarios())
+        .iter()
+        .map(|r| to_row(r, "Desktop i7-9700K"))
+        .collect();
+    rows.extend(
+        executor
+            .run(&limits_grid(PlatformId::CannonLake, [3100, 2200], 2).scenarios())
+            .iter()
+            .map(|r| to_row(r, "Mobile i3-8121U")),
+    );
+
     let mut csv = CsvTable::new([
         "system",
         "workload",
@@ -169,19 +158,21 @@ pub fn run_phases(quick: bool) -> Vec<PhasePoint> {
     } else {
         SimTime::from_secs(2.0)
     };
-    let cfg = SocConfig::quiet(PlatformSpec::cannon_lake()).with_trace(per_phase.scale(0.02));
-    let mut soc = Soc::new(cfg);
-    for core in 0..2 {
-        soc.spawn(
-            core,
-            0,
-            Box::new(PhaseProgram::three_phase(per_phase, 20_000)),
-        );
-    }
-    soc.run_until(per_phase.scale(3.2));
-    let trace = soc.trace();
+    let program = || TraceProgram::ThreePhase {
+        per_phase,
+        block_insts: 20_000,
+    };
+    let spec = TraceSpec {
+        name: "fig07b".to_string(),
+        platform: PlatformId::CannonLake,
+        freq_ghz: None,
+        sample_every: per_phase.scale(0.02),
+        horizon: per_phase.scale(3.2),
+        cores: vec![(0, program()), (1, program())],
+    };
+    let run = &Executor::serial().map(std::slice::from_ref(&spec), TraceSpec::run)[0];
     let mut csv = CsvTable::new(["time_s", "freq_ghz", "vcc_mv", "icc_a", "temp_c"]);
-    for s in trace.samples() {
+    for s in run.trace.samples() {
         csv.push_floats([
             s.time.as_secs(),
             s.freq.as_ghz(),
@@ -192,17 +183,15 @@ pub fn run_phases(quick: bool) -> Vec<PhasePoint> {
     }
     write_csv(&csv, "fig07b_phases.csv");
 
-    let mid = |k: f64| per_phase.scale(k);
-    let probe = |t: SimTime| trace.samples().iter().rfind(|s| s.time <= t).cloned();
     let mut rows = Vec::new();
     for (k, label) in [(0.5, "Non-AVX"), (1.5, "AVX2"), (2.5, "AVX512")] {
-        if let Some(s) = probe(mid(k)) {
-            rows.push(PhasePoint {
-                phase: label.to_string(),
-                freq_ghz: s.freq.as_ghz(),
-                icc_a: s.icc_a,
-                temp_c: s.temp_c,
-            });
+        if let Some(point) = run.probe(per_phase.scale(k), |s| PhasePoint {
+            phase: label.to_string(),
+            freq_ghz: s.freq.as_ghz(),
+            icc_a: s.icc_a,
+            temp_c: s.temp_c,
+        }) {
+            rows.push(point);
         }
     }
     let iccmax = PlatformSpec::cannon_lake().limits.iccmax_a();

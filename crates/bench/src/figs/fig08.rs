@@ -7,18 +7,17 @@
 //! on Coffee Lake is 8–15 ns longer than subsequent ones (gate wake),
 //! while on Haswell all iterations are equal — power gating explains
 //! only ~0.1 % of the TP (Key Conclusion 3).
+//!
+//! Both panels are `ichannels-lab` grids (TP and gate-iteration probes
+//! over the platform axis), executed on the worker pool.
 
+use ichannels_lab::scenario::{ChannelSelect, PlatformId, ProbeKind};
+use ichannels_lab::{Executor, Grid, TrialRecord};
 use ichannels_meter::export::CsvTable;
 use ichannels_meter::stats::summarize;
-use ichannels_soc::config::{PlatformSpec, SocConfig};
-use ichannels_soc::program::{Action, ProgCtx, Program};
-use ichannels_soc::sim::Soc;
-use ichannels_uarch::ipc::nominal_ipc;
 use ichannels_uarch::isa::InstClass;
-use ichannels_uarch::time::{Freq, SimTime};
-use ichannels_workload::loops::{instructions_for_duration, MeasuredLoop, Recorder};
+use ichannels_uarch::time::Freq;
 
-use crate::figs::inflation_to_tp_us;
 use crate::{banner, write_csv};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -38,56 +37,58 @@ pub struct TpDistribution {
     pub max_us: f64,
 }
 
+/// One standard-normal draw seeded from the trial (Box–Muller): the
+/// rdtsc/pipeline measurement jitter real runs carry — the box widths
+/// of the paper's Figure 8(a). The simulator's TPs are exact, so the
+/// noise model the channels use is applied per engine trial.
+fn measurement_noise_us(record: &TrialRecord) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(record.scenario.seed);
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * 0.35
+}
+
 /// Runs the Figure 8(a) TP distributions (AVX2 loop, many trials).
 pub fn run_distributions(quick: bool) -> Vec<TpDistribution> {
     banner("Figure 8(a): AVX2 throttling-period distribution per platform");
     let trials = if quick { 8 } else { 50 };
+    let platforms = [
+        PlatformId::Haswell,
+        PlatformId::CoffeeLake,
+        PlatformId::CannonLake,
+    ];
+    let grid = Grid::new()
+        .platforms(platforms.to_vec())
+        .channels(vec![ChannelSelect::Probe(ProbeKind::Tp {
+            class: InstClass::Heavy256,
+            cores: 1,
+        })])
+        .freq_ghz(3.0)
+        .trials(trials)
+        .base_seed(0xF18A);
+    let records = Executor::auto().run(&grid.scenarios());
+
     let mut out = Vec::new();
     let mut csv = CsvTable::new(["platform", "trial", "tp_us"]);
-    for platform in PlatformSpec::all() {
-        let freq = Freq::from_ghz(3.0).min(platform.pstates.max());
-        let freq = platform.pstates.highest_not_above(freq);
-        let cfg = SocConfig::pinned(platform.clone(), freq);
-        let mut soc = Soc::new(cfg);
-        let insts = instructions_for_duration(InstClass::Heavy256, freq, SimTime::from_us(60.0));
-        let rec = Recorder::new();
-        soc.spawn(
-            0,
-            0,
-            Box::new(MeasuredLoop::new(
-                InstClass::Heavy256,
-                insts,
-                trials,
-                SimTime::from_us(700.0), // past the reset-time: fresh TP each rep
-                rec.clone(),
-            )),
-        );
-        soc.run_until_idle(SimTime::from_ms(800.0));
-        let base_us = insts as f64 / nominal_ipc(InstClass::Heavy256) / freq.as_hz() as f64 * 1e6;
-        // Real measurements carry rdtsc/pipeline jitter (the box widths
-        // of the paper's Figure 8(a)); the simulator's TPs are exact, so
-        // apply the same measurement-noise model the channels use.
-        let mut rng = SmallRng::seed_from_u64(0xF18A);
-        let mut gauss = move || {
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        };
-        let tps: Vec<f64> = rec
-            .durations_us(soc.tsc())
+    for platform in platforms {
+        let spec = platform.spec();
+        let freq = spec.pstates.highest_not_above(Freq::from_ghz(3.0));
+        let tps: Vec<f64> = records
             .iter()
-            .map(|&d| (inflation_to_tp_us(d, base_us) + gauss() * 0.35).max(0.0))
+            .filter(|r| r.scenario.platform == platform)
+            .map(|r| (r.metrics.probe_value + measurement_noise_us(r)).max(0.0))
             .collect();
+        assert_eq!(tps.len(), trials as usize, "one TP per trial");
         for (i, tp) in tps.iter().enumerate() {
-            csv.push_row([platform.name.to_string(), i.to_string(), format!("{tp:.4}")]);
+            csv.push_row([spec.name.to_string(), i.to_string(), format!("{tp:.4}")]);
         }
         let s = summarize(&tps);
         println!(
             "  {:<24} TP = {:>6.2} ± {:>4.2} µs  (min {:.2}, max {:.2}, {} trials @ {})",
-            platform.name, s.mean, s.std_dev, s.min, s.max, trials, freq
+            spec.name, s.mean, s.std_dev, s.min, s.max, trials, freq
         );
         out.push(TpDistribution {
-            platform: platform.name.to_string(),
+            platform: spec.name.to_string(),
             mean_us: s.mean,
             std_us: s.std_dev,
             min_us: s.min,
@@ -96,38 +97,6 @@ pub fn run_distributions(quick: bool) -> Vec<TpDistribution> {
     }
     write_csv(&csv, "fig08a_tp_distribution.csv");
     out
-}
-
-/// Iteration-timing program: times three back-to-back loop iterations
-/// of 300 `VMULPD`-class instructions (the paper's §5.4 experiment).
-#[derive(Debug)]
-struct IterationTimer {
-    iter: usize,
-    t_start: u64,
-    recorder: Recorder,
-    started: bool,
-}
-
-impl Program for IterationTimer {
-    fn next(&mut self, ctx: &ProgCtx) -> Action {
-        if self.started {
-            self.recorder.push(ctx.tsc.saturating_sub(self.t_start));
-            self.iter += 1;
-        }
-        if self.iter >= 3 {
-            return Action::Halt;
-        }
-        self.started = true;
-        self.t_start = ctx.tsc;
-        Action::Run {
-            class: InstClass::Heavy256,
-            instructions: 300,
-        }
-    }
-
-    fn name(&self) -> &str {
-        "VMULPD iteration timer"
-    }
 }
 
 /// First-iteration deltas for one platform (Figure 8(b,c)).
@@ -142,36 +111,45 @@ pub struct IterationDeltas {
 /// Runs the Figure 8(b,c) power-gate wake measurement.
 pub fn run_power_gate(_quick: bool) -> Vec<IterationDeltas> {
     banner("Figure 8(b,c): first-iteration power-gate wake penalty");
+    let platforms = [PlatformId::CoffeeLake, PlatformId::Haswell];
+    let grid = Grid::new()
+        .platforms(platforms.to_vec())
+        .channels(
+            (0..3)
+                .map(|iter| ChannelSelect::Probe(ProbeKind::GateIteration { iter }))
+                .collect(),
+        )
+        .freq_ghz(3.0)
+        .base_seed(0x6A7E);
+    let records = Executor::auto().run(&grid.scenarios());
+
     let mut out = Vec::new();
-    for platform in [PlatformSpec::coffee_lake(), PlatformSpec::haswell()] {
-        let freq = platform.pstates.highest_not_above(Freq::from_ghz(3.0));
-        let cfg = SocConfig::pinned(platform.clone(), freq);
-        let mut soc = Soc::new(cfg);
-        let rec = Recorder::new();
-        soc.spawn(
-            0,
-            0,
-            Box::new(IterationTimer {
-                iter: 0,
-                t_start: 0,
-                recorder: rec.clone(),
-                started: false,
-            }),
-        );
-        soc.run_until_idle(SimTime::from_ms(1.0));
-        let d = rec.durations_us(soc.tsc());
-        let steady = d[2];
+    for platform in platforms {
+        let duration_us = |iter: u8| {
+            records
+                .iter()
+                .find(|r| {
+                    r.scenario.platform == platform
+                        && r.scenario.channel
+                            == ChannelSelect::Probe(ProbeKind::GateIteration { iter })
+                })
+                .expect("grid covers every iteration")
+                .metrics
+                .probe_value
+        };
+        let steady = duration_us(2);
         let deltas = [
-            (d[0] - steady) * 1e3,
-            (d[1] - steady) * 1e3,
-            (d[2] - steady) * 1e3,
+            (duration_us(0) - steady) * 1e3,
+            (duration_us(1) - steady) * 1e3,
+            (duration_us(2) - steady) * 1e3,
         ];
+        let name = platform.spec().name;
         println!(
             "  {:<24} iteration deltas vs steady-state: {:+.1} ns, {:+.1} ns, {:+.1} ns",
-            platform.name, deltas[0], deltas[1], deltas[2]
+            name, deltas[0], deltas[1], deltas[2]
         );
         out.push(IterationDeltas {
-            platform: platform.name.to_string(),
+            platform: name.to_string(),
             delta_ns: deltas,
         });
     }

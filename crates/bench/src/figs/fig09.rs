@@ -6,52 +6,42 @@
 //! (b) ns-zoom: the AVX power-gate opens within ~10 ns, 0.1 % of the TP.
 //! (c) At turbo: the Vccmax/Iccmax protection initiates a P-state
 //! transition — throttling plus a frequency step down.
+//!
+//! Both timelines are `ichannels-lab` trace experiments executed on the
+//! engine's worker pool; this module only post-processes the series.
 
+use ichannels_lab::scenario::PlatformId;
+use ichannels_lab::{Executor, TraceProgram, TraceRun, TraceSpec};
 use ichannels_meter::export::CsvTable;
-use ichannels_soc::config::{PlatformSpec, SocConfig};
-use ichannels_soc::program::Script;
-use ichannels_soc::sim::Soc;
+use ichannels_soc::config::PlatformSpec;
 use ichannels_uarch::isa::InstClass;
-use ichannels_uarch::time::{Freq, SimTime};
-use ichannels_workload::loops::instructions_for_duration;
+use ichannels_uarch::time::SimTime;
 
 use crate::{banner, write_csv};
 
-fn timeline(cfg: SocConfig, label: &str, horizon: SimTime, csv_name: &str) -> CsvTable {
-    let mut soc = Soc::new(cfg);
-    let v0 = soc.vcc_mv();
-    let freq = soc.freq();
-    let insts = instructions_for_duration(InstClass::Heavy256, freq, SimTime::from_us(30.0));
-    soc.spawn(0, 0, Box::new(Script::run_loop(InstClass::Heavy256, insts)));
-    soc.run_until(horizon);
-    let trace = soc.trace();
+fn timeline(run: &TraceRun, label: &str, csv_name: &str) -> CsvTable {
     let mut csv = CsvTable::new(["time_us", "ipc", "freq_ghz", "vcc_delta_mv", "throttled"]);
-    for s in trace.samples() {
+    for s in run.trace.samples() {
         csv.push_floats([
             s.time.as_us(),
             s.core_ipc[0],
             s.freq.as_ghz(),
-            s.vcc_mv - v0,
+            s.vcc_mv - run.v0_mv,
             if s.throttled[0] { 1.0 } else { 0.0 },
         ]);
     }
     // Locate the throttle window for the printed summary.
-    let t_start = trace
-        .samples()
+    let samples = run.trace.samples();
+    let t_start = samples
         .iter()
         .find(|s| s.throttled[0])
         .map(|s| s.time.as_us());
-    let t_end = trace
-        .samples()
+    let t_end = samples
         .iter()
         .rfind(|s| s.throttled[0])
         .map(|s| s.time.as_us());
-    let f_final = trace
-        .samples()
-        .last()
-        .map(|s| s.freq.as_ghz())
-        .unwrap_or(0.0);
-    let v_final = trace.samples().last().map(|s| s.vcc_mv - v0).unwrap_or(0.0);
+    let f_final = samples.last().map(|s| s.freq.as_ghz()).unwrap_or(0.0);
+    let v_final = samples.last().map(|s| s.vcc_mv - run.v0_mv).unwrap_or(0.0);
     match (t_start, t_end) {
         (Some(a), Some(b)) => println!(
             "  {label}: throttled {a:.1}–{b:.1} µs, final freq {f_final:.2} GHz, Vcc +{v_final:.1} mV"
@@ -65,13 +55,34 @@ fn timeline(cfg: SocConfig, label: &str, horizon: SimTime, csv_name: &str) -> Cs
 /// Runs the three Figure 9 panels.
 pub fn run(_quick: bool) {
     banner("Figure 9: AVX2 PHI timelines on Cannon Lake");
-    // (a) Sub-nominal frequency: guardband ramp throttling only.
-    let cfg = SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4))
-        .with_trace(SimTime::from_ns(200.0));
+    let burst = || TraceProgram::Burst {
+        class: InstClass::Heavy256,
+        duration: SimTime::from_us(30.0),
+    };
+    let specs = [
+        // (a) Sub-nominal frequency: guardband ramp throttling only.
+        TraceSpec {
+            name: "fig09a".to_string(),
+            platform: PlatformId::CannonLake,
+            freq_ghz: Some(1.4),
+            sample_every: SimTime::from_ns(200.0),
+            horizon: SimTime::from_us(40.0),
+            cores: vec![(0, burst())],
+        },
+        // (c) Turbo: Vccmax/Iccmax protection with a P-state transition.
+        TraceSpec {
+            name: "fig09c".to_string(),
+            platform: PlatformId::CannonLake,
+            freq_ghz: None,
+            sample_every: SimTime::from_ns(200.0),
+            horizon: SimTime::from_us(60.0),
+            cores: vec![(0, burst())],
+        },
+    ];
+    let runs = Executor::auto().map(&specs, TraceSpec::run);
     timeline(
-        cfg,
+        &runs[0],
         "(a) 1.4 GHz (di/dt guardband ramp)",
-        SimTime::from_us(40.0),
         "fig09a_guardband.csv",
     );
 
@@ -84,12 +95,9 @@ pub fn run(_quick: bool) {
         wake, 12
     );
 
-    // (c) Turbo: Vccmax/Iccmax protection with a P-state transition.
-    let cfg = SocConfig::quiet(PlatformSpec::cannon_lake()).with_trace(SimTime::from_ns(200.0));
     timeline(
-        cfg,
+        &runs[1],
         "(c) turbo (P-state transition)",
-        SimTime::from_us(60.0),
         "fig09c_pstate.csv",
     );
 }

@@ -7,24 +7,46 @@
 //! (b) TP of a 512b-Heavy loop preceded by each class at 1.4 GHz: the
 //! lighter the preceding class, the longer the remaining ramp — at least
 //! five distinct levels (L1–L5).
+//!
+//! Both panels are `ichannels-lab` grids: (a) sweeps TP probes over the
+//! class × core-count channel axis and the engine's frequency axis; (b)
+//! sweeps the preceded-TP probe over the class axis.
 
+use ichannels_lab::scenario::{ChannelSelect, ProbeKind};
+use ichannels_lab::{Executor, Grid};
 use ichannels_meter::export::CsvTable;
 use ichannels_meter::stats::distinct_levels;
-use ichannels_soc::config::{PlatformSpec, SocConfig};
-use ichannels_soc::sim::Soc;
-use ichannels_uarch::ipc::nominal_ipc;
 use ichannels_uarch::isa::InstClass;
-use ichannels_uarch::time::{Freq, SimTime};
-use ichannels_workload::loops::{instructions_for_duration, PrecededLoop, Recorder};
 
-use crate::figs::{inflation_to_tp_us, measure_tp_us};
 use crate::{banner, write_csv};
 
 /// Runs Figure 10(a): TP per class × frequency × core count.
 /// Returns `(class, freq_ghz, cores, tp_us)` rows.
 pub fn run_sweep(_quick: bool) -> Vec<(InstClass, f64, usize, f64)> {
     banner("Figure 10(a): throttling period vs class, frequency, core count");
-    let platform = PlatformSpec::cannon_lake();
+    let mut channels = Vec::new();
+    for class in InstClass::ALL {
+        for cores in [1u8, 2] {
+            channels.push(ChannelSelect::Probe(ProbeKind::Tp { class, cores }));
+        }
+    }
+    let grid = Grid::new()
+        .channels(channels)
+        .freqs(vec![Some(1.0), Some(1.2), Some(1.4)])
+        .base_seed(0x10A);
+    let records = Executor::auto().run(&grid.scenarios());
+    let tp_of = |class: InstClass, cores: u8, ghz: f64| {
+        records
+            .iter()
+            .find(|r| {
+                r.scenario.freq_ghz == Some(ghz)
+                    && r.scenario.channel == ChannelSelect::Probe(ProbeKind::Tp { class, cores })
+            })
+            .expect("grid covers every cell")
+            .metrics
+            .probe_value
+    };
+
     let mut rows = Vec::new();
     let mut csv = CsvTable::new(["class", "freq_ghz", "cores", "tp_us"]);
     println!(
@@ -36,7 +58,7 @@ pub fn run_sweep(_quick: bool) -> Vec<(InstClass, f64, usize, f64)> {
         let mut line = format!("  {:<12}", class.to_string());
         for cores in [1usize, 2] {
             for ghz in [1.0, 1.2, 1.4] {
-                let tp = measure_tp_us(&platform, Freq::from_ghz(ghz), class, cores);
+                let tp = tp_of(class, cores as u8, ghz);
                 rows.push((class, ghz, cores, tp));
                 csv.push_row([
                     class.to_string(),
@@ -58,34 +80,28 @@ pub fn run_sweep(_quick: bool) -> Vec<(InstClass, f64, usize, f64)> {
 /// Returns `(preceding_class, tp_us)` pairs.
 pub fn run_preceded(_quick: bool) -> Vec<(InstClass, f64)> {
     banner("Figure 10(b): 512b-Heavy TP vs preceding instruction class (1.4 GHz)");
-    let platform = PlatformSpec::cannon_lake();
-    let freq = Freq::from_ghz(1.4);
-    let main_insts = instructions_for_duration(InstClass::Heavy512, freq, SimTime::from_us(60.0));
-    let prev_insts = instructions_for_duration(InstClass::Heavy256, freq, SimTime::from_us(15.0));
-    let base_us = main_insts as f64 / nominal_ipc(InstClass::Heavy512) / freq.as_hz() as f64 * 1e6;
+    let grid = Grid::new()
+        .channels(
+            InstClass::ALL
+                .iter()
+                .map(|&prev| ChannelSelect::Probe(ProbeKind::PrecededTp { prev }))
+                .collect(),
+        )
+        .freq_ghz(1.4)
+        .base_seed(0x10B);
+    let records = Executor::auto().run(&grid.scenarios());
+
     let mut rows = Vec::new();
     let mut csv = CsvTable::new(["preceding_class", "tp_us"]);
-    for prev in InstClass::ALL {
-        let cfg = SocConfig::pinned(platform.clone(), freq);
-        let mut soc = Soc::new(cfg);
-        let rec = Recorder::new();
-        soc.spawn(
-            0,
-            0,
-            Box::new(PrecededLoop::new(
-                prev,
-                prev_insts,
-                InstClass::Heavy512,
-                main_insts,
-                SimTime::from_us(30.0),
-                rec.clone(),
-            )),
+    for (prev, record) in InstClass::ALL.iter().zip(&records) {
+        debug_assert_eq!(
+            record.scenario.channel,
+            ChannelSelect::Probe(ProbeKind::PrecededTp { prev: *prev })
         );
-        soc.run_until_idle(SimTime::from_ms(5.0));
-        let tp = inflation_to_tp_us(rec.durations_us(soc.tsc())[0], base_us);
+        let tp = record.metrics.probe_value;
         println!("  preceded by {:<12} → TP = {tp:>6.2} µs", prev.to_string());
         csv.push_row([prev.to_string(), format!("{tp:.3}")]);
-        rows.push((prev, tp));
+        rows.push((*prev, tp));
     }
     let tps: Vec<f64> = rows.iter().map(|(_, t)| *t).collect();
     let levels = distinct_levels(&tps, 0.5);

@@ -4,62 +4,69 @@
 //! loop iterations: ~0.75 while throttled (the gate blocks 3 of every 4
 //! cycles) vs ~0 unthrottled — and the gate sits on the *shared*
 //! IDQ→back-end interface, so the SMT sibling is equally blocked.
+//!
+//! The three conditions are `Idq` probe cells of one `ichannels-lab`
+//! grid; each measurement window is one engine trial. The IDQ model is
+//! deterministic, so every window of a condition measures the same
+//! value — the paper's Figure 11(a) distributions are equally tight;
+//! the per-window rows are kept for the figure's file format, not for
+//! statistical spread.
 
+use ichannels_lab::scenario::{ChannelSelect, IdqCondition, ProbeKind};
+use ichannels_lab::{Executor, Grid};
 use ichannels_meter::export::CsvTable;
-use ichannels_meter::stats::{summarize, Histogram};
-use ichannels_uarch::idq::{Idq, SmtId, ThreadDemand};
-use ichannels_uarch::isa::InstClass;
+use ichannels_meter::stats::summarize;
 
 use crate::{banner, write_csv};
+
+/// The CSV/report label of one IDQ condition.
+const fn condition_label(cond: IdqCondition) -> &'static str {
+    match cond {
+        IdqCondition::Throttled => "throttled",
+        IdqCondition::Unthrottled => "unthrottled",
+        IdqCondition::SmtSibling => "smt_sibling",
+    }
+}
 
 /// Runs the Figure 11(a) distributions via the cycle-accurate IDQ model.
 /// Returns `(throttled_mean, unthrottled_mean, sibling_mean)`.
 pub fn run(quick: bool) -> (f64, f64, f64) {
     banner("Figure 11: normalized undelivered uops, throttled vs unthrottled");
     let windows = if quick { 50 } else { 500 };
-    let window_cycles = 1_000;
 
-    let collect = |throttled: bool, sibling: bool, observe: SmtId| -> Vec<f64> {
-        (0..windows)
-            .map(|_| {
-                let mut idq = Idq::new();
-                idq.set_throttled(throttled, Some(SmtId::T0));
-                let t1 = if sibling {
-                    ThreadDemand::busy(InstClass::Scalar64)
-                } else {
-                    ThreadDemand::IDLE
-                };
-                idq.run_normalized_undelivered(
-                    ThreadDemand::busy(InstClass::Heavy256),
-                    t1,
-                    window_cycles,
-                    observe,
-                )
-            })
+    let channels: Vec<ChannelSelect> = IdqCondition::ALL
+        .iter()
+        .map(|&cond| ChannelSelect::Probe(ProbeKind::Idq(cond)))
+        .collect();
+    let grid = Grid::new()
+        .channels(channels)
+        .trials(windows)
+        .base_seed(0x1D8);
+    let records = Executor::auto().run(&grid.scenarios());
+
+    let values_of = |cond: IdqCondition| -> Vec<f64> {
+        records
+            .iter()
+            .filter(|r| r.scenario.channel == ChannelSelect::Probe(ProbeKind::Idq(cond)))
+            .map(|r| r.metrics.probe_value)
             .collect()
     };
 
-    let throttled = collect(true, false, SmtId::T0);
-    let unthrottled = collect(false, false, SmtId::T0);
-    let sibling = collect(true, true, SmtId::T1);
-
     let mut csv = CsvTable::new(["condition", "window", "normalized_undelivered"]);
-    let mut hist_t = Histogram::new(0.0, 1.0, 50);
-    let mut hist_u = Histogram::new(0.0, 1.0, 50);
-    for (i, v) in throttled.iter().enumerate() {
-        csv.push_row(["throttled".to_string(), i.to_string(), format!("{v:.4}")]);
-        hist_t.add(*v);
+    let mut means = Vec::new();
+    for cond in IdqCondition::ALL {
+        let values = values_of(cond);
+        assert_eq!(values.len(), windows as usize, "one value per window");
+        for (i, v) in values.iter().enumerate() {
+            csv.push_row([
+                condition_label(cond).to_string(),
+                i.to_string(),
+                format!("{v:.4}"),
+            ]);
+        }
+        means.push(summarize(&values));
     }
-    for (i, v) in unthrottled.iter().enumerate() {
-        csv.push_row(["unthrottled".to_string(), i.to_string(), format!("{v:.4}")]);
-        hist_u.add(*v);
-    }
-    for (i, v) in sibling.iter().enumerate() {
-        csv.push_row(["smt_sibling".to_string(), i.to_string(), format!("{v:.4}")]);
-    }
-    let st = summarize(&throttled);
-    let su = summarize(&unthrottled);
-    let ss = summarize(&sibling);
+    let (st, su, ss) = (means[0], means[1], means[2]);
     println!(
         "  throttled iteration:    {:.3} ± {:.3}  (paper: ~0.75 — 3 of 4 cycles blocked)",
         st.mean, st.std_dev

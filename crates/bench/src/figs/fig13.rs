@@ -4,12 +4,16 @@
 //!
 //! Expected shape: four non-overlapping clusters (L1..L4) separated by
 //! more than 2 000 TSC cycles ⇒ near-zero error rate.
+//!
+//! The four levels form the channel axis of an `ichannels-lab` grid
+//! (one `LevelDuration` probe per level) and the repetitions are engine
+//! trials, executed on the worker pool.
 
-use ichannels::channel::IChannel;
 use ichannels::symbols::Symbol;
+use ichannels_lab::scenario::{ChannelSelect, NoiseSpec, ProbeKind};
+use ichannels_lab::{Executor, Grid};
 use ichannels_meter::export::CsvTable;
 use ichannels_meter::stats::summarize;
-use ichannels_soc::noise::NoiseConfig;
 
 use crate::{banner, write_csv};
 
@@ -29,19 +33,39 @@ pub struct LevelCluster {
 pub fn run(quick: bool) -> (Vec<LevelCluster>, f64) {
     banner("Figure 13: receiver TP distribution per level (low-noise system)");
     let reps = if quick { 10 } else { 100 };
-    let mut ch = IChannel::icc_thread_covert();
     // "relatively low noise (interrupt and context-switch rates below
     // 1000 events per second) while other non-AVX applications run".
-    ch.config_mut().soc = ch.config().soc.clone().with_noise(NoiseConfig::low());
+    let channels: Vec<ChannelSelect> = Symbol::ALL
+        .iter()
+        .map(|s| ChannelSelect::Probe(ProbeKind::LevelDuration { level: s.value() }))
+        .collect();
+    let grid = Grid::new()
+        .channels(channels)
+        .noises(vec![NoiseSpec::Low])
+        .trials(reps)
+        .base_seed(0xF1_13);
+    let records = Executor::auto().run(&grid.scenarios());
+
     let mut csv = CsvTable::new(["level", "bits", "duration_cycles"]);
     let mut clusters = Vec::new();
     for s in Symbol::ALL {
-        let durations = ch.run_symbols(&vec![s; reps]);
+        let durations: Vec<f64> = records
+            .iter()
+            .filter(|r| {
+                r.scenario.channel
+                    == ChannelSelect::Probe(ProbeKind::LevelDuration { level: s.value() })
+            })
+            .map(|r| r.metrics.probe_value)
+            .collect();
+        assert_eq!(durations.len(), reps as usize, "one duration per trial");
         for d in &durations {
-            csv.push_row([format!("L{}", 4 - s.value()), s.to_string(), d.to_string()]);
+            csv.push_row([
+                format!("L{}", 4 - s.value()),
+                s.to_string(),
+                format!("{d:.0}"),
+            ]);
         }
-        let vals: Vec<f64> = durations.iter().map(|&d| d as f64).collect();
-        let sum = summarize(&vals);
+        let sum = summarize(&durations);
         println!(
             "  L{} (bits {}): {:>8.0} ± {:>5.0} cycles  [{:.0}, {:.0}]",
             4 - s.value(),

@@ -1,4 +1,10 @@
 //! Figure/table regeneration modules (see crate docs for the index).
+//!
+//! Every module expresses its sweep as an `ichannels-lab` campaign —
+//! a [`ichannels_lab::Grid`] of scenarios (channel trials, probes, or
+//! knob ablations) or a list of [`ichannels_lab::TraceSpec`] trace
+//! experiments — executed by the engine's worker pool. No module drives
+//! a channel or the SoC simulator directly.
 
 pub mod ablation;
 pub mod fig06;
@@ -12,55 +18,3 @@ pub mod fig13;
 pub mod fig14;
 pub mod table1;
 pub mod table2;
-
-use ichannels_soc::config::{PlatformSpec, SocConfig};
-use ichannels_soc::sim::Soc;
-use ichannels_uarch::ipc::{nominal_ipc, THROTTLE_BLOCKED_FRACTION};
-use ichannels_uarch::isa::InstClass;
-use ichannels_uarch::time::{Freq, SimTime};
-use ichannels_workload::loops::{instructions_for_duration, MeasuredLoop, Recorder};
-
-/// Converts a measured loop-duration inflation into a throttling period:
-/// during the TP the loop retires at 1/4 rate, so the inflation is
-/// `TP · 3/4` (provided the loop outlasts the TP) and
-/// `TP = inflation / (3/4)`.
-pub fn inflation_to_tp_us(measured_us: f64, base_us: f64) -> f64 {
-    (measured_us - base_us).max(0.0) / THROTTLE_BLOCKED_FRACTION
-}
-
-/// Measures the throttling period (µs) of a loop of `class` at `freq`
-/// with `active_cores` cores running the same loop concurrently, on a
-/// fresh instance of `platform`.
-///
-/// # Panics
-///
-/// Panics if `active_cores` is zero or exceeds the platform core count.
-pub fn measure_tp_us(
-    platform: &PlatformSpec,
-    freq: Freq,
-    class: InstClass,
-    active_cores: usize,
-) -> f64 {
-    assert!(
-        active_cores >= 1 && active_cores <= platform.n_cores,
-        "active_cores {active_cores} out of range"
-    );
-    let cfg = SocConfig::pinned(platform.clone(), freq);
-    let mut soc = Soc::new(cfg);
-    // Loop long enough to outlast any TP (≥ 60 µs of work).
-    let insts = instructions_for_duration(class, freq, SimTime::from_us(60.0));
-    let rec = Recorder::new();
-    soc.spawn(
-        0,
-        0,
-        Box::new(MeasuredLoop::once(class, insts, rec.clone())),
-    );
-    for core in 1..active_cores {
-        let other = Recorder::new();
-        soc.spawn(core, 0, Box::new(MeasuredLoop::once(class, insts, other)));
-    }
-    soc.run_until_idle(SimTime::from_ms(5.0));
-    let measured_us = rec.durations_us(soc.tsc())[0];
-    let base_us = insts as f64 / nominal_ipc(class) / freq.as_hz() as f64 * 1e6;
-    inflation_to_tp_us(measured_us, base_us)
-}

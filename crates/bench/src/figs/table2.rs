@@ -1,10 +1,13 @@
 //! Table 2 — comparison with state-of-the-art throttling covert channels
-//! (NetSpectre, TurboCC), combining structural facts with measured
-//! bandwidths from the Figure 12 harness.
+//! (NetSpectre, TurboCC), combining structural facts with bandwidths
+//! measured by a dedicated `ichannels-lab` campaign (the three
+//! compared channels form the channel axis of one grid).
 
+use ichannels::channel::ChannelKind;
+use ichannels_lab::scenario::{BaselineKind, ChannelSelect};
+use ichannels_lab::{campaigns, Executor};
 use ichannels_meter::export::CsvTable;
 
-use crate::figs::fig12;
 use crate::{banner, write_csv};
 
 /// One comparison row.
@@ -35,12 +38,23 @@ pub struct ComparisonRow {
 /// Runs the comparison (re-measuring bandwidths); returns the rows.
 pub fn run(quick: bool) -> Vec<ComparisonRow> {
     banner("Table 2: comparison with state-of-the-art covert channels");
-    let throughputs = fig12::run(quick);
+    let n = if quick { 12 } else { 40 };
+    let grid = campaigns::channel_shootout(
+        vec![
+            ChannelSelect::Baseline(BaselineKind::NetSpectre),
+            ChannelSelect::Baseline(BaselineKind::TurboCc),
+            ChannelSelect::Icc(ChannelKind::Smt),
+        ],
+        n,
+        42,
+    );
+    let report = campaigns::run("table2_comparison", &grid, Executor::auto());
     let bw = |name: &str| {
-        throughputs
+        report
+            .records
             .iter()
-            .find(|t| t.name == name)
-            .map(|t| t.bps)
+            .find(|r| r.scenario.channel.label() == name)
+            .map(|r| r.metrics.throughput_bps)
             .unwrap_or(0.0)
     };
     let rows = vec![

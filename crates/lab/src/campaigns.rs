@@ -11,7 +11,7 @@ use ichannels_meter::export::JsonlWriter;
 use crate::exec::Executor;
 use crate::grid::Grid;
 use crate::report::{records_to_csv, summaries_to_csv, summarize_cells, CellSummary, TrialRecord};
-use crate::scenario::{ChannelSelect, NoiseSpec, PlatformId};
+use crate::scenario::{AlphabetSpec, ChannelSelect, NoiseSpec, PlatformId};
 
 /// A completed campaign: raw trials plus per-cell aggregates.
 #[derive(Debug, Clone)]
@@ -116,12 +116,37 @@ pub fn mitigation_coverage(quick: bool) -> Grid {
         .base_seed(0x7AB_1E1)
 }
 
+/// Modulation-capacity sweep: the 4/6/7-level alphabets over the
+/// same-thread and cross-core channels, on a client part and the §6.4
+/// server extrapolation. Answers the ROADMAP question "how many
+/// bits/transaction survive beyond the paper's 2-bit modulation?".
+pub fn modulation_capacity(quick: bool) -> Grid {
+    let mut channels = Vec::new();
+    for kind in [ChannelKind::Thread, ChannelKind::Cores] {
+        for alpha in [
+            AlphabetSpec::Paper4,
+            AlphabetSpec::Phi6,
+            AlphabetSpec::Full7,
+        ] {
+            channels.push(ChannelSelect::MultiLevel(kind, alpha));
+        }
+    }
+    Grid::new()
+        .platforms(vec![PlatformId::CannonLake, PlatformId::SkylakeServer])
+        .channels(channels)
+        .payload_symbols(if quick { 24 } else { 80 })
+        .calib_reps(if quick { 2 } else { 3 })
+        .trials(if quick { 1 } else { 3 })
+        .base_seed(0x0A1F_ABE7)
+}
+
 /// Every named campaign, for CLI dispatch: `(name, grid builder)`.
 pub fn catalog(quick: bool) -> Vec<(&'static str, Grid)> {
     vec![
         ("client_vs_server", client_vs_server(quick)),
         ("noise_robustness", noise_robustness(quick)),
         ("mitigation_coverage", mitigation_coverage(quick)),
+        ("modulation_capacity", modulation_capacity(quick)),
     ]
 }
 
@@ -146,11 +171,11 @@ mod tests {
     #[test]
     fn catalog_names_are_unique() {
         let cat = catalog(true);
-        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.len(), 4);
         let mut names: Vec<&str> = cat.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 3);
+        assert_eq!(names.len(), 4);
     }
 
     #[test]
@@ -163,6 +188,8 @@ mod tests {
         assert_eq!(noise_robustness(true).scenarios().len(), 9);
         // mitigation_coverage: 3 kinds × 5 sets.
         assert_eq!(mitigation_coverage(true).scenarios().len(), 15);
+        // modulation_capacity: 2 platforms × 2 kinds × 3 alphabets.
+        assert_eq!(modulation_capacity(true).scenarios().len(), 12);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The multi-threaded campaign executor.
 //!
 //! A plain `std::thread` worker pool drains a shared atomic work index
-//! over the scenario list; each worker runs trials hermetically (every
+//! over the work list; each worker runs items hermetically (every
 //! trial re-derives all of its randomness from the scenario seed) and
-//! deposits the record at the scenario's slot. Results therefore come
+//! deposits the result at the item's slot. Results therefore come
 //! back in input order and are **bit-identical** for any worker count —
-//! the property the determinism tests pin down.
+//! the property the determinism tests pin down. [`Executor::run`]
+//! executes [`Scenario`] lists; the generic [`Executor::map`] executes
+//! any hermetic per-item function (e.g. the trace experiments of
+//! [`crate::trace`]) on the same pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -53,25 +56,37 @@ impl Executor {
 
     /// Runs every scenario and returns records in input order.
     pub fn run(&self, scenarios: &[Scenario]) -> Vec<TrialRecord> {
-        if scenarios.is_empty() {
+        self.map(scenarios, Scenario::run)
+    }
+
+    /// Applies a hermetic function to every item on the worker pool,
+    /// returning results in input order. The function must derive any
+    /// randomness from the item itself so that results are identical
+    /// for every worker count.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if items.is_empty() {
             return Vec::new();
         }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<TrialRecord>>> =
-            scenarios.iter().map(|_| Mutex::new(None)).collect();
-        let next = Arc::new(next);
+        let next = Arc::new(AtomicUsize::new(0));
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let f = &f;
         std::thread::scope(|scope| {
-            let workers = self.threads.min(scenarios.len());
+            let workers = self.threads.min(items.len());
             for _ in 0..workers {
                 let next = Arc::clone(&next);
                 let slots = &slots;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= scenarios.len() {
+                    if i >= items.len() {
                         break;
                     }
-                    let record = scenarios[i].run();
-                    *slots[i].lock().expect("unpoisoned slot") = Some(record);
+                    let result = f(&items[i]);
+                    *slots[i].lock().expect("unpoisoned slot") = Some(result);
                 });
             }
         });

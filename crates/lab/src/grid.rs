@@ -10,7 +10,9 @@
 use ichannels::channel::ChannelKind;
 use ichannels::mitigations::Mitigation;
 
-use crate::scenario::{mix, AppSpec, ChannelSelect, NoiseSpec, PayloadSpec, PlatformId, Scenario};
+use crate::scenario::{
+    mix, AppSpec, ChannelSelect, Knob, NoiseSpec, PayloadSpec, PlatformId, Scenario,
+};
 
 /// FNV-1a over a string, for stable per-cell seed derivation.
 fn fnv1a(s: &str) -> u64 {
@@ -48,10 +50,11 @@ pub struct Grid {
     noises: Vec<NoiseSpec>,
     mitigation_sets: Vec<Vec<Mitigation>>,
     apps: Vec<Option<AppSpec>>,
+    knobs: Vec<Option<Knob>>,
     payloads: Vec<PayloadSpec>,
     payload_symbols: usize,
     calib_reps: usize,
-    freq_ghz: Option<f64>,
+    freqs: Vec<Option<f64>>,
     trials: u32,
     base_seed: u64,
 }
@@ -72,10 +75,11 @@ impl Grid {
             noises: vec![NoiseSpec::Quiet],
             mitigation_sets: vec![vec![]],
             apps: vec![None],
+            knobs: vec![None],
             payloads: vec![PayloadSpec::Random],
             payload_symbols: 24,
             calib_reps: 2,
-            freq_ghz: None,
+            freqs: vec![None],
             trials: 1,
             base_seed: 0x1C4A_11AB,
         }
@@ -123,6 +127,13 @@ impl Grid {
         self
     }
 
+    /// Sets the design-knob axis (`None` entries run stock hardware).
+    pub fn knobs(mut self, knobs: Vec<Option<Knob>>) -> Self {
+        assert!(!knobs.is_empty(), "knob axis must not be empty");
+        self.knobs = knobs;
+        self
+    }
+
     /// Sets the payload-shape axis.
     pub fn payloads(mut self, payloads: Vec<PayloadSpec>) -> Self {
         assert!(!payloads.is_empty(), "payload axis must not be empty");
@@ -145,9 +156,20 @@ impl Grid {
     }
 
     /// Pins every scenario at `ghz` instead of the platform default.
-    pub fn freq_ghz(mut self, ghz: f64) -> Self {
+    pub fn freq_ghz(self, ghz: f64) -> Self {
         assert!(ghz > 0.0, "frequency must be positive");
-        self.freq_ghz = Some(ghz);
+        self.freqs(vec![Some(ghz)])
+    }
+
+    /// Sets the pinned-frequency axis (`None` entries run the platform
+    /// default).
+    pub fn freqs(mut self, freqs: Vec<Option<f64>>) -> Self {
+        assert!(!freqs.is_empty(), "frequency axis must not be empty");
+        assert!(
+            freqs.iter().flatten().all(|&g| g > 0.0),
+            "frequencies must be positive"
+        );
+        self.freqs = freqs;
         self
     }
 
@@ -168,47 +190,55 @@ impl Grid {
     /// times the trial count, before platform-support filtering.
     pub fn cardinality(&self) -> usize {
         self.platforms.len()
+            * self.freqs.len()
             * self.channels.len()
             * self.noises.len()
             * self.mitigation_sets.len()
             * self.apps.len()
+            * self.knobs.len()
             * self.payloads.len()
             * self.trials as usize
     }
 
     /// Enumerates the runnable scenarios in deterministic axis order
-    /// (platform → channel → noise → mitigations → app → payload →
-    /// trial), dropping combinations the platform cannot host.
+    /// (platform → freq → channel → noise → mitigations → app → knob →
+    /// payload → trial), dropping combinations the platform cannot
+    /// host.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.cardinality());
         for &platform in &self.platforms {
-            for &channel in &self.channels {
-                for &noise in &self.noises {
-                    for mitigations in &self.mitigation_sets {
-                        for &app in &self.apps {
-                            for &payload in &self.payloads {
-                                for trial in 0..self.trials {
-                                    let mut s = Scenario {
-                                        platform,
-                                        channel,
-                                        noise,
-                                        mitigations: mitigations.clone(),
-                                        app,
-                                        payload,
-                                        payload_symbols: self.payload_symbols,
-                                        calib_reps: self.calib_reps,
-                                        freq_ghz: self.freq_ghz,
-                                        trial,
-                                        seed: 0,
-                                    };
-                                    if !s.supported() {
-                                        continue;
+            for &freq_ghz in &self.freqs {
+                for &channel in &self.channels {
+                    for &noise in &self.noises {
+                        for mitigations in &self.mitigation_sets {
+                            for &app in &self.apps {
+                                for &knob in &self.knobs {
+                                    for &payload in &self.payloads {
+                                        for trial in 0..self.trials {
+                                            let mut s = Scenario {
+                                                platform,
+                                                channel,
+                                                noise,
+                                                mitigations: mitigations.clone(),
+                                                app,
+                                                knob,
+                                                payload,
+                                                payload_symbols: self.payload_symbols,
+                                                calib_reps: self.calib_reps,
+                                                freq_ghz,
+                                                trial,
+                                                seed: 0,
+                                            };
+                                            if !s.supported() {
+                                                continue;
+                                            }
+                                            s.seed = mix(
+                                                self.base_seed ^ fnv1a(&s.cell_key()),
+                                                u64::from(trial),
+                                            );
+                                            out.push(s);
+                                        }
                                     }
-                                    s.seed = mix(
-                                        self.base_seed ^ fnv1a(&s.cell_key()),
-                                        u64::from(trial),
-                                    );
-                                    out.push(s);
                                 }
                             }
                         }
@@ -294,6 +324,21 @@ mod tests {
         // The IChannel cells keep the full sweep: 2 platforms × 2
         // noises × 2 trials.
         assert_eq!(scenarios.len() - 1, 8);
+    }
+
+    #[test]
+    fn freq_and_knob_axes_multiply_cardinality() {
+        let g = Grid::new()
+            .freqs(vec![Some(1.0), Some(1.2), Some(1.4)])
+            .knobs(vec![None, Some(Knob::VrSlew(4.8))])
+            .trials(2);
+        assert_eq!(g.cardinality(), 3 * 2 * 2);
+        assert_eq!(g.scenarios().len(), 12);
+        // Every cell key is distinct (freq/knob segments included).
+        let mut keys: Vec<String> = g.scenarios().iter().map(Scenario::cell_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
     }
 
     #[test]

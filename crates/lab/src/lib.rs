@@ -15,8 +15,18 @@
 //! * [`report`] — per-trial records, per-cell aggregation through
 //!   `ichannels_meter::stats`, and streaming JSONL + CSV export through
 //!   `ichannels_meter::export`;
+//! * [`trace`] — [`trace::TraceSpec`]: the characterization timelines
+//!   (Figures 6, 7(b), 9) as declarative specs run on the same pool;
 //! * [`campaigns`] — ready-made campaigns: client-vs-server,
-//!   noise-robustness, and mitigation-coverage sweeps.
+//!   noise-robustness, mitigation-coverage, and modulation-capacity
+//!   sweeps.
+//!
+//! Beyond channel trials, a [`Scenario`] can describe a direct
+//! micro-architectural measurement (a [`scenario::ProbeKind`]: TP
+//! distributions, power-gate wake, IDQ undelivered slots, per-level
+//! receiver durations, operating-point projections) and a
+//! design-parameter override ([`scenario::Knob`]), which is how every
+//! characterization figure regenerates through the engine.
 //!
 //! # Quickstart
 //!
@@ -52,12 +62,14 @@ pub mod exec;
 pub mod grid;
 pub mod report;
 pub mod scenario;
+pub mod trace;
 
 pub use campaigns::CampaignReport;
 pub use exec::Executor;
 pub use grid::Grid;
 pub use report::{CellSummary, TrialMetrics, TrialRecord};
 pub use scenario::{
-    AlphabetSpec, AppKind, AppSpec, BaselineKind, ChannelSelect, NoiseSpec, PayloadSpec,
-    PlatformId, Scenario,
+    AlphabetSpec, AppKind, AppSpec, BaselineKind, ChannelSelect, IdqCondition, Knob, NoiseSpec,
+    PayloadSpec, PlatformId, ProbeKind, Scenario,
 };
+pub use trace::{TraceProgram, TraceRun, TraceSpec};

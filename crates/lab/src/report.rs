@@ -31,6 +31,14 @@ pub struct TrialMetrics {
     pub min_separation_cycles: f64,
     /// Number of payload symbols evaluated.
     pub n_symbols: usize,
+    /// Primary probe measurement (TP µs, iteration duration µs,
+    /// normalized undelivered fraction, duration cycles, Vcc mV —
+    /// depending on the [`crate::scenario::ProbeKind`]); `NaN` for
+    /// channel trials.
+    pub probe_value: f64,
+    /// Secondary probe measurement (Icc A for operating-point probes);
+    /// `NaN` unless the probe defines one.
+    pub probe_aux: f64,
 }
 
 /// One completed trial: the scenario plus its measurements.
@@ -67,6 +75,8 @@ impl TrialRecord {
             .num("capacity_bps", m.capacity_bps)
             .num("mi_bits_per_symbol", m.mi_bits_per_symbol)
             .num("min_separation_cycles", m.min_separation_cycles)
+            .num("probe_value", m.probe_value)
+            .num("probe_aux", m.probe_aux)
     }
 }
 
@@ -79,7 +89,7 @@ fn csv_float(v: f64) -> String {
 }
 
 /// The CSV header shared by [`records_to_csv`].
-pub const TRIAL_CSV_HEADER: [&str; 16] = [
+pub const TRIAL_CSV_HEADER: [&str; 18] = [
     "cell",
     "platform",
     "channel",
@@ -96,6 +106,8 @@ pub const TRIAL_CSV_HEADER: [&str; 16] = [
     "capacity_bps",
     "mi_bits_per_symbol",
     "min_separation_cycles",
+    "probe_value",
+    "probe_aux",
 ];
 
 /// Renders raw trial records as one CSV table.
@@ -121,6 +133,8 @@ pub fn records_to_csv(records: &[TrialRecord]) -> CsvTable {
             csv_float(m.capacity_bps),
             csv_float(m.mi_bits_per_symbol),
             csv_float(m.min_separation_cycles),
+            csv_float(m.probe_value),
+            csv_float(m.probe_aux),
         ]);
     }
     table
@@ -151,6 +165,8 @@ pub struct CellSummary {
     pub capacity: Option<Summary>,
     /// Mean minimum level separation (cycles).
     pub mean_min_separation: Option<f64>,
+    /// Probe-measurement summary over trials with a defined probe value.
+    pub probe: Option<Summary>,
 }
 
 fn finite(records: &[&TrialRecord], f: impl Fn(&TrialMetrics) -> f64) -> Vec<f64> {
@@ -175,6 +191,7 @@ pub fn summarize_cells(records: &[TrialRecord]) -> Vec<CellSummary> {
             let tps = finite(&group, |m| m.throughput_bps);
             let caps = finite(&group, |m| m.capacity_bps);
             let seps = finite(&group, |m| m.min_separation_cycles);
+            let probes = finite(&group, |m| m.probe_value);
             CellSummary {
                 cell,
                 trials: group.len(),
@@ -190,6 +207,7 @@ pub fn summarize_cells(records: &[TrialRecord]) -> Vec<CellSummary> {
                 capacity: (!caps.is_empty()).then(|| summarize(&caps)),
                 mean_min_separation: (!seps.is_empty())
                     .then(|| seps.iter().sum::<f64>() / seps.len() as f64),
+                probe: (!probes.is_empty()).then(|| summarize(&probes)),
             }
         })
         .collect()
@@ -208,6 +226,8 @@ pub fn summaries_to_csv(cells: &[CellSummary]) -> CsvTable {
         "throughput_p95_bps",
         "capacity_mean_bps",
         "min_separation_cycles",
+        "probe_mean",
+        "probe_std",
     ]);
     for c in cells {
         let (p5, p50, p95) = c
@@ -224,6 +244,8 @@ pub fn summaries_to_csv(cells: &[CellSummary]) -> CsvTable {
             csv_float(p95),
             c.capacity.map_or_else(String::new, |s| csv_float(s.mean)),
             c.mean_min_separation.map_or_else(String::new, csv_float),
+            c.probe.map_or_else(String::new, |s| csv_float(s.mean)),
+            c.probe.map_or_else(String::new, |s| csv_float(s.std_dev)),
         ]);
     }
     table

@@ -18,11 +18,16 @@ use ichannels::extended::{LevelAlphabet, MultiLevelChannel};
 use ichannels::mitigations::Mitigation;
 use ichannels::symbols::Symbol;
 use ichannels_meter::stats::ConfusionMatrix;
+use ichannels_pdn::current::CoreActivity;
 use ichannels_soc::config::{PlatformSpec, SocConfig};
 use ichannels_soc::noise::NoiseConfig;
 use ichannels_soc::sim::Soc;
-use ichannels_uarch::time::Freq;
+use ichannels_uarch::idq::{Idq, SmtId, ThreadDemand};
+use ichannels_uarch::ipc::{nominal_ipc, THROTTLE_BLOCKED_FRACTION};
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::{Freq, SimTime};
 use ichannels_workload::apps::{RandomPhiApp, SevenZipApp};
+use ichannels_workload::loops::{instructions_for_duration, MeasuredLoop, PrecededLoop, Recorder};
 
 use crate::report::{TrialMetrics, TrialRecord};
 
@@ -165,6 +170,144 @@ impl BaselineKind {
     }
 }
 
+/// Condition of an IDQ undelivered-slots probe (Figure 11): what the
+/// cycle-level IDQ model executes and which hardware thread is observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdqCondition {
+    /// Throttled Heavy256 iteration, observed on the issuing thread.
+    Throttled,
+    /// Unthrottled iteration, observed on the issuing thread.
+    Unthrottled,
+    /// Throttled iteration, observed from the scalar SMT sibling.
+    SmtSibling,
+}
+
+impl IdqCondition {
+    /// The three Figure 11 conditions.
+    pub const ALL: [IdqCondition; 3] = [
+        IdqCondition::Throttled,
+        IdqCondition::Unthrottled,
+        IdqCondition::SmtSibling,
+    ];
+
+    /// Short label used in cell keys.
+    pub const fn label(self) -> &'static str {
+        match self {
+            IdqCondition::Throttled => "idq-throttled",
+            IdqCondition::Unthrottled => "idq-unthrottled",
+            IdqCondition::SmtSibling => "idq-sibling",
+        }
+    }
+}
+
+/// Cycles per IDQ probe window (Figure 11's measurement window).
+pub const IDQ_PROBE_WINDOW_CYCLES: u64 = 1_000;
+
+/// A direct micro-architectural measurement — no symbol stream, the
+/// characterization figures (§5) expressed as engine cells. The
+/// measurement lands in [`crate::report::TrialMetrics::probe_value`]
+/// (and `probe_aux` where a probe defines a second output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeKind {
+    /// Throttling period (µs) of a `class` loop running on `cores`
+    /// cores concurrently (Figures 8(a), 10(a)).
+    Tp {
+        /// Instruction class of the measured loop.
+        class: InstClass,
+        /// Number of cores running the loop concurrently.
+        cores: u8,
+    },
+    /// TP (µs) of a Heavy512 loop preceded by a `prev` loop
+    /// (Figure 10(b)).
+    PrecededTp {
+        /// The class executed immediately before the measured loop.
+        prev: InstClass,
+    },
+    /// Duration (µs) of back-to-back Heavy256 iteration `iter` of three
+    /// — the AVX power-gate wake experiment (Figure 8(b,c)).
+    GateIteration {
+        /// Which of the three iterations is reported (0, 1, or 2).
+        iter: u8,
+    },
+    /// Normalized IDQ undelivered slots under `IdqCondition`
+    /// (Figure 11).
+    Idq(IdqCondition),
+    /// Receiver-measured duration (TSC cycles) of one transmitted
+    /// sender level over the same-thread channel (Figure 13).
+    LevelDuration {
+        /// The transmitted symbol value (0..4).
+        level: u8,
+    },
+    /// Projected (unprotected) operating point: Vcc (mV) in
+    /// `probe_value`, Icc (A) in `probe_aux` (Figure 7(a)).
+    OperatingPoint {
+        /// Instruction class executed on the active cores.
+        class: InstClass,
+        /// Projected core frequency in MHz (exact, not P-state-snapped).
+        freq_mhz: u32,
+        /// Number of active cores.
+        cores: u8,
+    },
+}
+
+impl ProbeKind {
+    /// Label used in cell keys and export rows.
+    pub fn label(self) -> String {
+        match self {
+            ProbeKind::Tp { class, cores } => format!("tp-{class}-c{cores}"),
+            ProbeKind::PrecededTp { prev } => format!("prec-{prev}"),
+            ProbeKind::GateIteration { iter } => format!("gate-i{iter}"),
+            ProbeKind::Idq(cond) => cond.label().to_string(),
+            ProbeKind::LevelDuration { level } => format!("dwell{level}"),
+            ProbeKind::OperatingPoint {
+                class,
+                freq_mhz,
+                cores,
+            } => format!("op-{class}-{freq_mhz}MHz-c{cores}"),
+        }
+    }
+}
+
+/// A design-parameter override — the ablation axis: which property of
+/// the hardware gives the channel its capacity, and which knob a
+/// defender would want to turn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Knob {
+    /// VR slew rate override (mV/µs) — faster regulators compress the
+    /// TP levels (the §7 LDO argument, quantified).
+    VrSlew(f64),
+    /// License-hysteresis (reset-time) override (µs). The protocol
+    /// adapts: the slot period becomes reset-time + 40 µs transaction.
+    ResetTimeUs(f64),
+    /// Receiver measurement-jitter sigma override (ns).
+    MeasurementJitterNs(f64),
+}
+
+impl Knob {
+    /// Label used in cell keys and export rows.
+    pub fn label(self) -> String {
+        match self {
+            Knob::VrSlew(v) => format!("slew{v}"),
+            Knob::ResetTimeUs(v) => format!("reset{v}"),
+            Knob::MeasurementJitterNs(v) => format!("jitter{v}"),
+        }
+    }
+
+    /// Applies the override to a channel configuration.
+    pub fn apply(self, cfg: &mut ChannelConfig) {
+        match self {
+            Knob::VrSlew(v) => cfg.soc.platform.vr_model.slew_mv_per_us = v,
+            Knob::ResetTimeUs(us) => {
+                cfg.soc.platform.reset_time = SimTime::from_us(us);
+                cfg.slot_period = SimTime::from_us(us + 40.0);
+            }
+            Knob::MeasurementJitterNs(ns) => {
+                cfg.measurement_jitter = SimTime::from_ns(ns);
+            }
+        }
+    }
+}
+
 /// Which channel a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelSelect {
@@ -174,6 +317,8 @@ pub enum ChannelSelect {
     MultiLevel(ChannelKind, AlphabetSpec),
     /// A state-of-the-art baseline (fixed published setup).
     Baseline(BaselineKind),
+    /// A direct micro-architectural measurement (no symbol stream).
+    Probe(ProbeKind),
 }
 
 impl ChannelSelect {
@@ -185,8 +330,17 @@ impl ChannelSelect {
                 format!("{}-{}", kind.name(), alpha.label())
             }
             ChannelSelect::Baseline(b) => b.name().to_string(),
+            ChannelSelect::Probe(p) => p.label(),
         }
     }
+}
+
+/// Converts a measured loop-duration inflation into a throttling
+/// period: during the TP the loop retires at 1/4 rate, so the inflation
+/// is `TP · 3/4` (provided the loop outlasts the TP) and
+/// `TP = inflation / (3/4)`.
+pub fn inflation_to_tp_us(measured_us: f64, base_us: f64) -> f64 {
+    (measured_us - base_us).max(0.0) / THROTTLE_BLOCKED_FRACTION
 }
 
 /// OS-noise configuration of a scenario.
@@ -309,6 +463,8 @@ pub struct Scenario {
     pub mitigations: Vec<Mitigation>,
     /// Optional concurrent interfering application.
     pub app: Option<AppSpec>,
+    /// Optional design-parameter override (the ablation axis).
+    pub knob: Option<Knob>,
     /// Symbol stream shape.
     pub payload: PayloadSpec,
     /// Number of payload symbols per trial.
@@ -339,9 +495,11 @@ impl Scenario {
                     && self.noise == NoiseSpec::Quiet
                     && self.mitigations.is_empty()
                     && self.app.is_none()
+                    && self.knob.is_none()
                     && self.payload == PayloadSpec::Random
                     && self.trial == 0;
             }
+            ChannelSelect::Probe(probe) => return self.probe_supported(probe),
         };
         let spec = self.platform.spec();
         match kind {
@@ -351,10 +509,50 @@ impl Scenario {
         }
     }
 
+    /// Probes measure the machine directly: there is no symbol stream,
+    /// no interfering app, no mitigation stack and no design knob, so
+    /// those axes must sit at their defaults — otherwise a row would
+    /// carry an axis label that never applied to the measurement.
+    fn probe_supported(&self, probe: ProbeKind) -> bool {
+        if self.app.is_some()
+            || self.knob.is_some()
+            || self.payload != PayloadSpec::Random
+            || !self.mitigations.is_empty()
+        {
+            return false;
+        }
+        let spec = self.platform.spec();
+        match probe {
+            ProbeKind::Tp { cores, .. } => cores >= 1 && (cores as usize) <= spec.n_cores,
+            ProbeKind::PrecededTp { .. } => true,
+            ProbeKind::GateIteration { iter } => iter < 3,
+            // The IDQ model is platform-, noise-, and frequency-
+            // independent (it counts cycles, not time); restrict to the
+            // canonical setup so labels stay honest.
+            ProbeKind::Idq(_) => {
+                self.platform == PlatformId::CannonLake
+                    && self.noise == NoiseSpec::Quiet
+                    && self.freq_ghz.is_none()
+            }
+            ProbeKind::LevelDuration { level } => level < 4,
+            // Operating points carry their own exact frequency, so the
+            // grid's pinned-frequency axis must stay at its default.
+            ProbeKind::OperatingPoint {
+                freq_mhz, cores, ..
+            } => {
+                self.noise == NoiseSpec::Quiet
+                    && self.freq_ghz.is_none()
+                    && cores >= 1
+                    && (cores as usize) <= spec.n_cores
+                    && Freq::from_mhz(f64::from(freq_mhz)) <= spec.vf_curve.max_freq()
+            }
+        }
+    }
+
     /// The cell key: every axis except the trial index. Trials of one
     /// cell aggregate into one summary row.
     pub fn cell_key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}/{}/{}/{}/{}x{}",
             self.platform.label(),
             self.channel.label(),
@@ -363,7 +561,18 @@ impl Scenario {
             self.app.map_or_else(|| "noapp".to_string(), AppSpec::label),
             self.payload.label(),
             self.payload_symbols,
-        )
+        );
+        // Off-default axes append labeled segments, so cell keys (and
+        // therefore the seeds derived from them) of campaigns that do
+        // not sweep frequency or knobs are unchanged.
+        if let Some(ghz) = self.freq_ghz {
+            key.push_str(&format!("/f{ghz}"));
+        }
+        if let Some(knob) = self.knob {
+            key.push('/');
+            key.push_str(&knob.label());
+        }
+        key
     }
 
     /// Full trial label: cell key plus trial index.
@@ -382,6 +591,9 @@ impl Scenario {
         cfg.soc = SocConfig::pinned(spec, freq).with_noise(self.noise.config());
         for m in &self.mitigations {
             cfg = m.apply(cfg);
+        }
+        if let Some(knob) = self.knob {
+            knob.apply(&mut cfg);
         }
         cfg.jitter_seed = mix(self.seed, 1);
         cfg.soc.seed = mix(self.seed, 2);
@@ -423,6 +635,7 @@ impl Scenario {
             ChannelSelect::Icc(kind) => self.run_icc(kind),
             ChannelSelect::MultiLevel(kind, alpha) => self.run_multilevel(kind, alpha),
             ChannelSelect::Baseline(b) => self.run_baseline(b),
+            ChannelSelect::Probe(p) => self.run_probe(p),
         };
         TrialRecord {
             scenario: self.clone(),
@@ -485,6 +698,8 @@ impl Scenario {
             mi_bits_per_symbol: mi,
             min_separation_cycles: cal.min_separation_cycles(),
             n_symbols: symbols.len(),
+            probe_value: f64::NAN,
+            probe_aux: f64::NAN,
         }
     }
 
@@ -509,6 +724,8 @@ impl Scenario {
             mi_bits_per_symbol: eval.mi_bits_per_symbol,
             min_separation_cycles: min_sep,
             n_symbols: self.payload_symbols,
+            probe_value: f64::NAN,
+            probe_aux: f64::NAN,
         }
     }
 
@@ -554,6 +771,167 @@ impl Scenario {
             mi_bits_per_symbol: f64::NAN,
             min_separation_cycles: f64::NAN,
             n_symbols: n,
+            probe_value: f64::NAN,
+            probe_aux: f64::NAN,
+        }
+    }
+
+    /// Wraps a probe measurement pair into the metrics struct (all
+    /// channel metrics undefined).
+    fn probe_metrics(&self, value: f64, aux: f64) -> TrialMetrics {
+        TrialMetrics {
+            ber: f64::NAN,
+            ser: f64::NAN,
+            throughput_bps: f64::NAN,
+            capacity_bps: f64::NAN,
+            mi_bits_per_symbol: f64::NAN,
+            min_separation_cycles: f64::NAN,
+            n_symbols: 0,
+            probe_value: value,
+            probe_aux: aux,
+        }
+    }
+
+    /// The probe's pinned frequency: the scenario override (or platform
+    /// default) snapped down to a real P-state.
+    fn probe_freq(&self, spec: &PlatformSpec) -> Freq {
+        let ghz = self.freq_ghz.unwrap_or(self.platform.default_freq_ghz());
+        spec.pstates.highest_not_above(Freq::from_ghz(ghz))
+    }
+
+    /// A pinned, noise-configured SoC for loop probes, seeded from the
+    /// trial seed.
+    fn probe_soc(&self, spec: PlatformSpec, freq: Freq) -> Soc {
+        let mut cfg = SocConfig::pinned(spec, freq).with_noise(self.noise.config());
+        cfg.seed = mix(self.seed, 2);
+        Soc::new(cfg)
+    }
+
+    fn run_probe(&self, probe: ProbeKind) -> TrialMetrics {
+        match probe {
+            ProbeKind::Tp { class, cores } => {
+                let spec = self.platform.spec();
+                let freq = self.probe_freq(&spec);
+                let mut soc = self.probe_soc(spec, freq);
+                // Loop long enough to outlast any TP (≥ 60 µs of work).
+                let insts = instructions_for_duration(class, freq, SimTime::from_us(60.0));
+                let rec = Recorder::new();
+                soc.spawn(
+                    0,
+                    0,
+                    Box::new(MeasuredLoop::once(class, insts, rec.clone())),
+                );
+                for core in 1..cores as usize {
+                    soc.spawn(
+                        core,
+                        0,
+                        Box::new(MeasuredLoop::once(class, insts, Recorder::new())),
+                    );
+                }
+                soc.run_until_idle(SimTime::from_ms(5.0));
+                let base_us = insts as f64 / nominal_ipc(class) / freq.as_hz() as f64 * 1e6;
+                let tp = inflation_to_tp_us(rec.durations_us(soc.tsc())[0], base_us);
+                self.probe_metrics(tp, f64::NAN)
+            }
+            ProbeKind::PrecededTp { prev } => {
+                let spec = self.platform.spec();
+                let freq = self.probe_freq(&spec);
+                let mut soc = self.probe_soc(spec, freq);
+                let main_insts =
+                    instructions_for_duration(InstClass::Heavy512, freq, SimTime::from_us(60.0));
+                let prev_insts =
+                    instructions_for_duration(InstClass::Heavy256, freq, SimTime::from_us(15.0));
+                let rec = Recorder::new();
+                soc.spawn(
+                    0,
+                    0,
+                    Box::new(PrecededLoop::new(
+                        prev,
+                        prev_insts,
+                        InstClass::Heavy512,
+                        main_insts,
+                        SimTime::from_us(30.0),
+                        rec.clone(),
+                    )),
+                );
+                soc.run_until_idle(SimTime::from_ms(5.0));
+                let base_us =
+                    main_insts as f64 / nominal_ipc(InstClass::Heavy512) / freq.as_hz() as f64
+                        * 1e6;
+                let tp = inflation_to_tp_us(rec.durations_us(soc.tsc())[0], base_us);
+                self.probe_metrics(tp, f64::NAN)
+            }
+            ProbeKind::GateIteration { iter } => {
+                let spec = self.platform.spec();
+                let freq = self.probe_freq(&spec);
+                let mut soc = self.probe_soc(spec, freq);
+                // Three back-to-back 300-instruction VMULPD-class loops
+                // (§5.4): only the first pays the power-gate wake.
+                let rec = Recorder::new();
+                soc.spawn(
+                    0,
+                    0,
+                    Box::new(MeasuredLoop::new(
+                        InstClass::Heavy256,
+                        300,
+                        3,
+                        SimTime::ZERO,
+                        rec.clone(),
+                    )),
+                );
+                soc.run_until_idle(SimTime::from_ms(1.0));
+                self.probe_metrics(rec.durations_us(soc.tsc())[iter as usize], f64::NAN)
+            }
+            ProbeKind::Idq(condition) => {
+                let mut idq = Idq::new();
+                let (throttled, sibling, observe) = match condition {
+                    IdqCondition::Throttled => (true, ThreadDemand::IDLE, SmtId::T0),
+                    IdqCondition::Unthrottled => (false, ThreadDemand::IDLE, SmtId::T0),
+                    IdqCondition::SmtSibling => {
+                        (true, ThreadDemand::busy(InstClass::Scalar64), SmtId::T1)
+                    }
+                };
+                idq.set_throttled(throttled, Some(SmtId::T0));
+                let frac = idq.run_normalized_undelivered(
+                    ThreadDemand::busy(InstClass::Heavy256),
+                    sibling,
+                    IDQ_PROBE_WINDOW_CYCLES,
+                    observe,
+                );
+                self.probe_metrics(frac, f64::NAN)
+            }
+            ProbeKind::LevelDuration { level } => {
+                // One transmitted symbol over the same-thread channel,
+                // measured by the receiver under the scenario's noise.
+                let cfg = self.channel_config();
+                let channel = IChannel::new(ChannelKind::Thread, cfg);
+                let durations = channel.run_symbols(&[Symbol::new(level)]);
+                self.probe_metrics(durations[0] as f64, f64::NAN)
+            }
+            ProbeKind::OperatingPoint {
+                class,
+                freq_mhz,
+                cores,
+            } => {
+                let spec = self.platform.spec();
+                let freq = Freq::from_mhz(f64::from(freq_mhz));
+                let base = spec.vf_curve.voltage_mv(freq);
+                let classes: Vec<Option<InstClass>> = (0..spec.n_cores)
+                    .map(|i| (i < cores as usize).then_some(class))
+                    .collect();
+                let vcc = base + spec.guardband().package_guardband_mv(&classes, base, freq);
+                let acts: Vec<CoreActivity> = (0..spec.n_cores)
+                    .map(|i| {
+                        if i < cores as usize {
+                            CoreActivity::busy(class)
+                        } else {
+                            CoreActivity::IDLE
+                        }
+                    })
+                    .collect();
+                let icc = spec.current_model().icc_a(&acts, vcc, freq, 60.0);
+                self.probe_metrics(vcc, icc)
+            }
         }
     }
 }
@@ -569,6 +947,7 @@ mod tests {
             noise: NoiseSpec::Quiet,
             mitigations: vec![],
             app: None,
+            knob: None,
             payload: PayloadSpec::Random,
             payload_symbols: 8,
             calib_reps: 2,
@@ -621,6 +1000,107 @@ mod tests {
         };
         assert_eq!(s.cell_key(), t0.cell_key());
         assert_ne!(s.label(), t0.label());
+    }
+
+    #[test]
+    fn default_axes_leave_cell_keys_unchanged() {
+        // PR-1 campaigns never set freq or knob: their keys (and seeds)
+        // must not grow new segments.
+        let s = base_scenario();
+        assert!(!s.cell_key().contains("/f"), "{}", s.cell_key());
+        let mut pinned = s.clone();
+        pinned.freq_ghz = Some(1.4);
+        assert!(
+            pinned.cell_key().ends_with("/f1.4"),
+            "{}",
+            pinned.cell_key()
+        );
+        let mut knobbed = s.clone();
+        knobbed.knob = Some(Knob::VrSlew(4.8));
+        assert!(
+            knobbed.cell_key().ends_with("/slew4.8"),
+            "{}",
+            knobbed.cell_key()
+        );
+    }
+
+    #[test]
+    fn tp_probe_measures_a_throttling_period() {
+        let mut s = base_scenario();
+        s.channel = ChannelSelect::Probe(ProbeKind::Tp {
+            class: InstClass::Heavy256,
+            cores: 1,
+        });
+        let record = s.run();
+        // Cannon Lake AVX2 TP at the default 1.4 GHz pin.
+        assert!(
+            (3.0..12.0).contains(&record.metrics.probe_value),
+            "tp = {}",
+            record.metrics.probe_value
+        );
+        assert!(record.metrics.ber.is_nan());
+        // The TP grows with frequency (Figure 10(a) / Key Conclusion 4).
+        let mut fast = s.clone();
+        fast.freq_ghz = Some(3.0);
+        assert!(fast.run().metrics.probe_value > record.metrics.probe_value);
+    }
+
+    #[test]
+    fn idq_probe_matches_figure_11() {
+        let run = |cond| {
+            let mut s = base_scenario();
+            s.channel = ChannelSelect::Probe(ProbeKind::Idq(cond));
+            s.run().metrics.probe_value
+        };
+        assert!((run(IdqCondition::Throttled) - 0.75).abs() < 0.01);
+        assert!(run(IdqCondition::Unthrottled) < 0.01);
+        assert!((run(IdqCondition::SmtSibling) - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn probes_reject_off_default_axes() {
+        let mut s = base_scenario();
+        s.channel = ChannelSelect::Probe(ProbeKind::Tp {
+            class: InstClass::Heavy256,
+            cores: 1,
+        });
+        assert!(s.supported());
+        let mut mitigated = s.clone();
+        mitigated.mitigations = vec![Mitigation::SecureMode];
+        assert!(!mitigated.supported());
+        let mut eight_cores = s.clone();
+        eight_cores.channel = ChannelSelect::Probe(ProbeKind::Tp {
+            class: InstClass::Heavy256,
+            cores: 8,
+        });
+        assert!(!eight_cores.supported(), "cannon lake has 2 cores");
+        eight_cores.platform = PlatformId::CoffeeLake;
+        assert!(eight_cores.supported());
+        // Probes that never read the pinned frequency reject the freq
+        // axis (the rows would claim a sweep that never happened).
+        let mut pinned_idq = s.clone();
+        pinned_idq.channel = ChannelSelect::Probe(ProbeKind::Idq(IdqCondition::Throttled));
+        assert!(pinned_idq.supported());
+        pinned_idq.freq_ghz = Some(2.0);
+        assert!(!pinned_idq.supported());
+        let mut pinned_op = s.clone();
+        pinned_op.channel = ChannelSelect::Probe(ProbeKind::OperatingPoint {
+            class: InstClass::Heavy256,
+            freq_mhz: 2200,
+            cores: 1,
+        });
+        assert!(pinned_op.supported());
+        pinned_op.freq_ghz = Some(2.0);
+        assert!(!pinned_op.supported());
+    }
+
+    #[test]
+    fn reset_time_knob_rescales_the_slot_period() {
+        let mut s = base_scenario();
+        s.knob = Some(Knob::ResetTimeUs(150.0));
+        let cfg = s.channel_config();
+        assert_eq!(cfg.slot_period, SimTime::from_us(190.0));
+        assert_eq!(cfg.soc.platform.reset_time, SimTime::from_us(150.0));
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Trace experiments: the characterization timelines (Figures 6, 7(b),
+//! and 9) as declarative specs executed by the worker pool.
+//!
+//! A [`TraceSpec`] is to a time-series panel what a
+//! [`crate::scenario::Scenario`] is to a trial: pure data — platform,
+//! pinned frequency (or governor), sampling period, per-core workload —
+//! that a worker can execute hermetically via [`TraceSpec::run`]
+//! (typically through [`crate::Executor::map`]). The figure modules
+//! then post-process the returned [`TraceRun`] into their CSV series
+//! and printed summaries instead of driving the SoC themselves.
+
+use ichannels_soc::config::SocConfig;
+use ichannels_soc::program::{Program, Script};
+use ichannels_soc::sim::Soc;
+use ichannels_soc::trace::Trace;
+use ichannels_uarch::isa::InstClass;
+use ichannels_uarch::time::{Freq, SimTime};
+use ichannels_workload::loops::instructions_for_duration;
+use ichannels_workload::phases::{Phase, PhaseProgram};
+
+use crate::scenario::PlatformId;
+
+/// What a traced core executes.
+#[derive(Debug, Clone)]
+pub enum TraceProgram {
+    /// An explicit phase schedule (Figure 6(a)'s staggered AVX2).
+    Phases {
+        /// The phase list, in execution order.
+        phases: Vec<Phase>,
+        /// Instructions per scheduling block.
+        block_insts: u64,
+    },
+    /// The 454.calculix-like phase trace (Figure 6(b)).
+    CalculixLike {
+        /// Total trace duration.
+        total: SimTime,
+        /// Instructions per scheduling block.
+        block_insts: u64,
+    },
+    /// One fixed loop sized to `duration` of unthrottled work at the
+    /// SoC's initial frequency (the Figure 9 timelines).
+    Burst {
+        /// Instruction class of the loop.
+        class: InstClass,
+        /// Unthrottled target duration of the loop.
+        duration: SimTime,
+    },
+    /// Non-AVX → AVX2 → AVX512 phases (Figure 7(b)).
+    ThreePhase {
+        /// Duration of each of the three phases.
+        per_phase: SimTime,
+        /// Instructions per scheduling block.
+        block_insts: u64,
+    },
+}
+
+/// One fully-specified trace experiment.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Display/export name of the experiment.
+    pub name: String,
+    /// Platform the SoC simulates.
+    pub platform: PlatformId,
+    /// Pinned frequency (snapped to a P-state); `None` runs the
+    /// performance governor (the turbo experiments).
+    pub freq_ghz: Option<f64>,
+    /// Trace sampling period.
+    pub sample_every: SimTime,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+    /// Per-core workloads: `(core index, program)`.
+    pub cores: Vec<(usize, TraceProgram)>,
+}
+
+/// A completed trace experiment.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// The spec's name.
+    pub name: String,
+    /// Idle package voltage before any program ran (mV).
+    pub v0_mv: f64,
+    /// Initial core frequency.
+    pub freq0: Freq,
+    /// The recorded time series.
+    pub trace: Trace,
+}
+
+impl TraceRun {
+    /// The last sample at or before `t` mapped through `f`, or `None`
+    /// when the trace has no sample that early.
+    pub fn probe<R>(
+        &self,
+        t: SimTime,
+        f: impl Fn(&ichannels_soc::trace::Sample) -> R,
+    ) -> Option<R> {
+        self.trace.samples().iter().rfind(|s| s.time <= t).map(f)
+    }
+
+    /// Vcc delta against the idle baseline at the last sample at or
+    /// before `t` (0 when the trace has no sample that early).
+    pub fn vcc_delta_at(&self, t: SimTime) -> f64 {
+        self.probe(t, |s| s.vcc_mv - self.v0_mv).unwrap_or(0.0)
+    }
+}
+
+impl TraceSpec {
+    /// Runs the experiment to completion. Deterministic: trace
+    /// experiments are noise-free, so the outcome is a pure function of
+    /// the spec.
+    pub fn run(&self) -> TraceRun {
+        let spec = self.platform.spec();
+        let cfg = match self.freq_ghz {
+            Some(ghz) => {
+                let freq = spec.pstates.highest_not_above(Freq::from_ghz(ghz));
+                SocConfig::pinned(spec, freq)
+            }
+            None => SocConfig::quiet(spec),
+        }
+        .with_trace(self.sample_every);
+        let mut soc = Soc::new(cfg);
+        let v0_mv = soc.vcc_mv();
+        let freq0 = soc.freq();
+        for (core, program) in &self.cores {
+            let boxed: Box<dyn Program> = match program {
+                TraceProgram::Phases {
+                    phases,
+                    block_insts,
+                } => Box::new(PhaseProgram::new(phases.clone(), *block_insts)),
+                TraceProgram::CalculixLike { total, block_insts } => {
+                    Box::new(PhaseProgram::calculix_like(*total, *block_insts))
+                }
+                TraceProgram::Burst { class, duration } => {
+                    let insts = instructions_for_duration(*class, freq0, *duration);
+                    Box::new(Script::run_loop(*class, insts))
+                }
+                TraceProgram::ThreePhase {
+                    per_phase,
+                    block_insts,
+                } => Box::new(PhaseProgram::three_phase(*per_phase, *block_insts)),
+            };
+            soc.spawn(*core, 0, boxed);
+        }
+        soc.run_until(self.horizon);
+        TraceRun {
+            name: self.name.clone(),
+            v0_mv,
+            freq0,
+            trace: soc.trace().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+
+    #[test]
+    fn burst_trace_records_samples_and_is_deterministic() {
+        let spec = TraceSpec {
+            name: "unit".to_string(),
+            platform: PlatformId::CannonLake,
+            freq_ghz: Some(1.4),
+            sample_every: SimTime::from_ns(500.0),
+            horizon: SimTime::from_us(40.0),
+            cores: vec![(
+                0,
+                TraceProgram::Burst {
+                    class: InstClass::Heavy256,
+                    duration: SimTime::from_us(30.0),
+                },
+            )],
+        };
+        let a = spec.run();
+        let b = Executor::new(2).map(std::slice::from_ref(&spec), TraceSpec::run);
+        assert!(!a.trace.is_empty());
+        assert_eq!(a.trace.samples().len(), b[0].trace.samples().len());
+        assert_eq!(a.v0_mv, b[0].v0_mv);
+        // The AVX2 burst raises Vcc above the idle baseline mid-run.
+        let mid = a.vcc_delta_at(SimTime::from_us(15.0));
+        assert!(mid > 1.0, "vcc delta {mid}");
+    }
+
+    #[test]
+    fn governor_trace_uses_turbo_frequency() {
+        let spec = TraceSpec {
+            name: "turbo".to_string(),
+            platform: PlatformId::CannonLake,
+            freq_ghz: None,
+            sample_every: SimTime::from_us(1.0),
+            horizon: SimTime::from_us(20.0),
+            cores: vec![],
+        };
+        let run = spec.run();
+        assert!(run.freq0.as_ghz() > 2.2, "freq0 = {}", run.freq0);
+    }
+}

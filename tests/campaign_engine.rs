@@ -5,9 +5,12 @@
 //! on a 4-thread pool).
 
 use ichannels_repro::ichannels::channel::ChannelKind;
-use ichannels_repro::ichannels_lab::report::{records_to_jsonl, summaries_to_csv};
-use ichannels_repro::ichannels_lab::scenario::{NoiseSpec, PlatformId};
-use ichannels_repro::ichannels_lab::{campaigns, Executor, Grid};
+use ichannels_repro::ichannels_lab::report::{records_to_jsonl, summaries_to_csv, summarize_cells};
+use ichannels_repro::ichannels_lab::scenario::{
+    ChannelSelect, Knob, NoiseSpec, PayloadSpec, PlatformId,
+};
+use ichannels_repro::ichannels_lab::{campaigns, AlphabetSpec, Executor, Grid};
+use proptest::prelude::*;
 
 fn acceptance_grid() -> Grid {
     Grid::new()
@@ -76,15 +79,101 @@ fn acceptance_campaign_covers_all_three_channel_kinds() {
 }
 
 #[test]
-fn ready_made_campaigns_run_quick() {
+fn every_catalog_campaign_is_parallel_serial_identical() {
+    // The engine invariant the figure migration leans on, for the whole
+    // catalog (not just the PR-1 campaigns): any worker count produces
+    // bit-identical trial rows, and aggregation preserves them all.
     for (name, grid) in campaigns::catalog(true) {
-        let report = campaigns::run(name, &grid, Executor::new(4));
+        let scenarios = grid.scenarios();
+        assert!(!scenarios.is_empty(), "{name} is empty");
+        let serial = Executor::serial().run(&scenarios);
+        let parallel = Executor::new(4).run(&scenarios);
         assert_eq!(
-            report.records.len(),
-            grid.scenarios().len(),
-            "{name} dropped records"
+            records_to_jsonl(&serial),
+            records_to_jsonl(&parallel),
+            "{name} diverged across worker counts"
         );
-        assert!(!report.cells.is_empty(), "{name} has no cells");
+        assert_eq!(parallel.len(), scenarios.len(), "{name} dropped records");
+        assert!(
+            !summarize_cells(&parallel).is_empty(),
+            "{name} has no cells"
+        );
+    }
+}
+
+#[test]
+fn modulation_capacity_sweeps_alphabets_on_client_and_server() {
+    let (_, grid) = campaigns::catalog(true)
+        .into_iter()
+        .find(|(name, _)| *name == "modulation_capacity")
+        .expect("modulation_capacity registered in the catalog");
+    let records = Executor::new(4).run(&grid.scenarios());
+    // 2 platforms × {Thread, Cores} × {4, 6, 7}-level alphabets.
+    assert_eq!(records.len(), 12);
+    for platform in [PlatformId::CannonLake, PlatformId::SkylakeServer] {
+        for kind in [ChannelKind::Thread, ChannelKind::Cores] {
+            let tp_of = |alpha: AlphabetSpec| {
+                records
+                    .iter()
+                    .find(|r| {
+                        r.scenario.platform == platform
+                            && r.scenario.channel == ChannelSelect::MultiLevel(kind, alpha)
+                    })
+                    .expect("cell present")
+                    .metrics
+                    .throughput_bps
+            };
+            // Raw throughput grows with the alphabet order (2 → 2.58 →
+            // 2.81 bits/transaction at the same symbol rate).
+            let (l4, l6, l7) = (
+                tp_of(AlphabetSpec::Paper4),
+                tp_of(AlphabetSpec::Phi6),
+                tp_of(AlphabetSpec::Full7),
+            );
+            assert!(
+                l4 < l6 && l6 < l7,
+                "{}/{kind}: raw throughput not ordered: {l4} {l6} {l7}",
+                platform.label()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn grid_cardinality_is_the_product_of_axis_cardinalities(
+        n_platforms in 1usize..5,
+        n_noises in 1usize..4,
+        n_knobs in 1usize..3,
+        n_payloads in 1usize..5,
+        n_freqs in 1usize..4,
+        trials in 1u32..4,
+    ) {
+        let mut knobs: Vec<Option<Knob>> = vec![None];
+        knobs.extend((1..n_knobs).map(|i| Some(Knob::VrSlew(2.4 * i as f64))));
+        let grid = Grid::new()
+            .platforms(PlatformId::ALL[..n_platforms.min(4)].to_vec())
+            .noises((0..n_noises).map(|i| NoiseSpec::Interrupts(10.0 * (i + 1) as f64)).collect())
+            .knobs(knobs)
+            .payloads((0..n_payloads.min(4)).map(|i| PayloadSpec::Constant(i as u8)).collect())
+            .freqs((0..n_freqs).map(|i| Some(1.0 + 0.2 * i as f64)).collect())
+            .trials(trials);
+        let expected = n_platforms.min(4)
+            * n_noises
+            * n_knobs
+            * n_payloads.min(4)
+            * n_freqs
+            * trials as usize;
+        prop_assert_eq!(grid.cardinality(), expected);
+        // The default channel axis (same-thread IChannel) is supported
+        // everywhere, so no cell is filtered.
+        prop_assert_eq!(grid.scenarios().len(), expected);
+        // Per-trial seeds are unique across the whole enumeration.
+        let mut seeds: Vec<u64> = grid.scenarios().iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        prop_assert_eq!(seeds.len(), expected);
     }
 }
 

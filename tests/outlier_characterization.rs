@@ -1,0 +1,90 @@
+//! Characterization of the ROADMAP-flagged BER ≈ 0.19 outlier on
+//! `skylake_server/IccCoresCovert/quiet`.
+//!
+//! The one-shot `client_vs_server` sweep found the cross-core channel
+//! markedly noisier on the server part while every client cell decodes
+//! error-free. Suspected cause: the Skylake-SP load-line impedance is
+//! much lower than the client parts' (0.9 mΩ vs 1.6–1.9 mΩ — a beefier
+//! server VR), so a remote core's PHI produces a smaller IR-drop signal
+//! on the shared rail; the cross-core level separation is compressed
+//! toward the receiver's measurement-jitter floor and adjacent levels
+//! start to confuse. These tests pin the outlier down as *documented
+//! current behavior* so a future fix (or model correction) shows up as
+//! a deliberate golden/test change, not silent drift.
+
+use ichannels_repro::ichannels::channel::ChannelKind;
+use ichannels_repro::ichannels_lab::scenario::{ChannelSelect, NoiseSpec, PlatformId};
+use ichannels_repro::ichannels_lab::{campaigns, Executor};
+use ichannels_repro::ichannels_soc::config::PlatformSpec;
+
+#[test]
+fn server_cross_core_quiet_cell_is_the_known_outlier() {
+    let grid = campaigns::client_vs_server(true);
+    let records = Executor::new(4).run(&grid.scenarios());
+    let cell = |platform: PlatformId, kind: ChannelKind, noise: NoiseSpec| {
+        records
+            .iter()
+            .find(|r| {
+                r.scenario.platform == platform
+                    && r.scenario.channel == ChannelSelect::Icc(kind)
+                    && r.scenario.noise == noise
+            })
+            .expect("campaign covers the cell")
+    };
+
+    // The outlier: the server cross-core cell decodes with BER ≈ 0.19
+    // (documented behavior, not an accuracy claim).
+    let outlier = cell(
+        PlatformId::SkylakeServer,
+        ChannelKind::Cores,
+        NoiseSpec::Quiet,
+    );
+    assert!(
+        (0.05..0.35).contains(&outlier.metrics.ber),
+        "outlier BER moved: {} — if this was a deliberate model fix, \
+         re-characterize and update this test + the ROADMAP",
+        outlier.metrics.ber
+    );
+
+    // Every client cross-core cell in the same sweep decodes error-free.
+    for platform in [PlatformId::CannonLake, PlatformId::CoffeeLake] {
+        let client = cell(platform, ChannelKind::Cores, NoiseSpec::Quiet);
+        assert_eq!(
+            client.metrics.ber,
+            0.0,
+            "{} cross-core should be clean",
+            platform.label()
+        );
+    }
+
+    // Mechanism: the server's cross-core level separation is compressed
+    // versus the client part — consistent with the lower load-line
+    // impedance shrinking the remote-PHI IR-drop signature. The
+    // compression is modest (~10–15 %), but it pushes the tightest
+    // adjacent-level gap into the receiver's jitter floor, which is
+    // where the ≈0.19 BER comes from.
+    let client_sep = cell(PlatformId::CannonLake, ChannelKind::Cores, NoiseSpec::Quiet)
+        .metrics
+        .min_separation_cycles;
+    let server_sep = outlier.metrics.min_separation_cycles;
+    assert!(
+        server_sep < 0.95 * client_sep,
+        "expected compressed server separation: server {server_sep} vs client {client_sep}"
+    );
+}
+
+#[test]
+fn server_load_line_is_the_odd_one_out() {
+    // The physical parameter the characterization points at: Skylake-SP
+    // runs a much stiffer rail than every client platform.
+    let server = PlatformSpec::skylake_server();
+    for client in PlatformSpec::all() {
+        assert!(
+            server.rll_mohm < 0.6 * client.rll_mohm,
+            "{}: rll {} vs server {}",
+            client.name,
+            client.rll_mohm,
+            server.rll_mohm
+        );
+    }
+}
