@@ -1,52 +1,129 @@
-//! Runs `ichannels-lab` experiment campaigns from the command line.
+//! Runs `ichannels-lab` experiment campaigns from the command line,
+//! optionally sharded across processes and resumable after an
+//! interruption.
 //!
 //! ```text
 //! campaign [--campaign NAME|all] [--threads N] [--quick] [--list]
+//!          [--shard I/N] [--resume]
+//! campaign merge <out-dir> <shard_trials.jsonl>...
 //! ```
 //!
 //! Campaigns: `client_vs_server`, `noise_robustness`,
 //! `mitigation_coverage`, `modulation_capacity`, or `all`. Results
-//! stream to
-//! `results/<name>_trials.jsonl` plus per-trial and per-cell CSVs
-//! (override the directory with `ICHANNELS_RESULTS`).
+//! stream to `results/<name>_trials.jsonl` (plus per-trial and
+//! per-cell CSVs for unsharded runs; override the directory with
+//! `ICHANNELS_RESULTS`). `--shard I/N` runs the deterministic
+//! round-robin slice `I` of `N` and suffixes the stream
+//! `<name>_shardIofN_trials.jsonl`; `merge` reassembles N such streams
+//! into artifacts byte-identical to an unsharded run. `--resume` scans
+//! an existing stream and skips its completed trials.
 
-use ichannels_lab::{campaigns, Executor};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: campaign [--campaign NAME|all] [--threads N] [--quick] [--list]\n\
-         campaigns: client_vs_server, noise_robustness, mitigation_coverage, modulation_capacity"
-    );
-    std::process::exit(2);
+use ichannels_lab::campaigns::{self, RunConfig};
+use ichannels_lab::{Executor, ShardSpec};
+
+fn campaign_names() -> String {
+    campaigns::catalog(true)
+        .iter()
+        .map(|(name, _)| *name)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
-fn main() {
+fn usage_text() -> String {
+    format!(
+        "usage: campaign [--campaign NAME|all] [--threads N] [--quick] [--list]\n\
+         \x20                [--shard I/N] [--resume]\n\
+         \x20      campaign merge <out-dir> <shard_trials.jsonl>...\n\
+         campaigns: {}",
+        campaign_names()
+    )
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{}", usage_text());
+    ExitCode::from(2)
+}
+
+fn merge_main(args: &[String]) -> ExitCode {
+    let (out_dir, inputs) = match args {
+        [] | [_] => {
+            eprintln!("merge needs an output directory and at least two shard streams");
+            return usage();
+        }
+        [out_dir, inputs @ ..] => (PathBuf::from(out_dir), inputs),
+    };
+    let inputs: Vec<PathBuf> = inputs.iter().map(PathBuf::from).collect();
+    match campaigns::merge_files(&out_dir, &inputs) {
+        Ok(merged) => {
+            println!(
+                "merged {} shard stream(s) of campaign {}: {} trials, {} cells",
+                inputs.len(),
+                merged.name,
+                merged.rows.len(),
+                merged.cells.len()
+            );
+            for p in &merged.paths {
+                println!("  wrote {}", p.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("merge failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        return merge_main(&args[1..]);
+    }
     let mut which = "all".to_string();
     let mut threads: Option<usize> = None;
     let mut quick = false;
+    let mut shard = ShardSpec::full();
+    let mut resume = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--campaign" | "-c" => match iter.next() {
                 Some(name) => which = name.clone(),
-                None => usage(),
+                None => return usage(),
             },
             "--threads" | "-j" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
-                _ => usage(),
+                _ => return usage(),
             },
             "--quick" => quick = true,
+            "--shard" => match iter.next() {
+                Some(spec) => match ShardSpec::parse(spec) {
+                    Ok(parsed) => shard = parsed,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage(),
+            },
+            "--resume" => resume = true,
             "--list" => {
                 for (name, grid) in campaigns::catalog(true) {
                     println!("{name} ({} quick scenarios)", grid.scenarios().len());
                 }
-                return;
+                return ExitCode::SUCCESS;
             }
-            "--help" | "-h" => usage(),
+            // Requested help is a success; only bad invocations exit 2.
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                return ExitCode::SUCCESS;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                usage();
+                return usage();
             }
         }
     }
@@ -58,34 +135,53 @@ fn main() {
         .filter(|(name, _)| which == "all" || which == *name)
         .collect();
     if selected.is_empty() {
-        eprintln!("no campaign named {which:?}");
-        usage();
+        eprintln!(
+            "unknown campaign {which:?}; valid campaigns: {}, all",
+            campaign_names()
+        );
+        return ExitCode::from(2);
     }
 
     let results_dir = ichannels_bench::results_dir();
+    let config = RunConfig { shard, resume };
     for (name, grid) in selected {
+        let scheduled = shard.len_of(grid.scenarios().len());
         ichannels_bench::banner(&format!(
-            "campaign {name}: {} scenarios on {} threads",
-            grid.scenarios().len(),
-            executor.threads()
+            "campaign {name}{}: {scheduled} scenario(s) on {} threads{}",
+            if shard.is_full() {
+                String::new()
+            } else {
+                format!(" [shard {shard}]")
+            },
+            executor.threads(),
+            if resume { ", resuming" } else { "" }
         ));
-        let report = campaigns::run(name, &grid, executor);
-        for cell in &report.cells {
-            let ber = cell
-                .ber
-                .map_or_else(|| "-".to_string(), |s| format!("{:.4}", s.mean));
-            let tp = cell
-                .throughput
-                .map_or_else(|| "-".to_string(), |s| format!("{:.0}", s.mean));
-            println!("  {:<64} ber {ber:>8}  tp {tp:>8} b/s", cell.cell);
-        }
-        match report.write_to(&results_dir) {
-            Ok(paths) => {
-                for p in paths {
+        match campaigns::run_to_dir(name, &grid, executor, &results_dir, config) {
+            Ok(run) => {
+                if run.resumed > 0 {
+                    println!(
+                        "  resumed {} completed trial(s), executed {}",
+                        run.resumed, run.executed
+                    );
+                }
+                for cell in &run.cells {
+                    let ber = cell
+                        .ber
+                        .map_or_else(|| "-".to_string(), |s| format!("{:.4}", s.mean));
+                    let tp = cell
+                        .throughput
+                        .map_or_else(|| "-".to_string(), |s| format!("{:.0}", s.mean));
+                    println!("  {:<64} ber {ber:>8}  tp {tp:>8} b/s", cell.cell);
+                }
+                for p in &run.paths {
                     println!("  wrote {}", p.display());
                 }
             }
-            Err(e) => eprintln!("  FAILED to write report: {e}"),
+            Err(e) => {
+                eprintln!("  FAILED to run campaign {name}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    ExitCode::SUCCESS
 }

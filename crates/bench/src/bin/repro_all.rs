@@ -1,7 +1,44 @@
-//! Runs every figure/table harness in sequence, writing all CSVs to
-//! `results/` — the one-shot paper reproduction.
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+//! Runs every figure/table harness in sequence, then regenerates the
+//! catalog campaign artifacts, writing all CSVs to `results/` — the
+//! one-shot paper reproduction.
+//!
+//! ```text
+//! repro_all [--quick] [--merged DIR]
+//! ```
+//!
+//! With `--merged DIR`, a campaign whose merged trial stream
+//! `DIR/<name>_trials.jsonl` exists (e.g. assembled by
+//! `campaign merge` from a sharded CI matrix) is **not** re-simulated:
+//! its trial/cell CSVs are re-derived from the stream instead, which
+//! is byte-identical to running the campaign here.
+
+use std::process::ExitCode;
+
+use ichannels_lab::campaigns;
+use ichannels_lab::report::summarize_rows;
+use ichannels_lab::Executor;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut merged_dir: Option<std::path::PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {}
+            "--merged" => match iter.next() {
+                Some(dir) => merged_dir = Some(dir.into()),
+                None => {
+                    eprintln!("usage: repro_all [--quick] [--merged DIR]");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}\nusage: repro_all [--quick] [--merged DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
     println!(
         "IChannels (ISCA 2021) full reproduction{}",
         if quick { " (quick mode)" } else { "" }
@@ -19,9 +56,86 @@ fn main() {
     let _ = figs::table1::run(quick);
     let _ = figs::table2::run(quick);
     figs::ablation::run(quick);
+
+    let results_dir = ichannels_bench::results_dir();
+    for (name, grid) in campaigns::catalog(quick) {
+        let merged = merged_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{name}_trials.jsonl")))
+            .filter(|p| p.exists());
+        if let Some(stream) = merged {
+            ichannels_bench::banner(&format!(
+                "campaign {name}: consuming merged stream {}",
+                stream.display()
+            ));
+            let rows = match campaigns::load_trials(&stream) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    eprintln!("  FAILED to load merged stream: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // The stream must be this grid's run: same trials, same
+            // order, same seeds. A count/key/seed mismatch means a
+            // stale stream or a quick-vs-full mode mix-up — deriving
+            // CSVs from it would silently mislabel the reproduction.
+            let scenarios = grid.scenarios();
+            let mismatch = if rows.len() != scenarios.len() {
+                Some(format!(
+                    "{} trial row(s), grid expects {}",
+                    rows.len(),
+                    scenarios.len()
+                ))
+            } else {
+                rows.iter().zip(&scenarios).find_map(|(row, scenario)| {
+                    (row.trial_key() != scenario.label() || row.seed != scenario.seed).then(|| {
+                        format!(
+                            "trial {} does not match {}",
+                            row.trial_key(),
+                            scenario.label()
+                        )
+                    })
+                })
+            };
+            if let Some(why) = mismatch {
+                eprintln!(
+                    "  FAILED: merged stream {} does not match the {} grid ({why}); \
+                     was it produced with a different --quick mode or an older grid?",
+                    stream.display(),
+                    if quick { "quick" } else { "full" }
+                );
+                return ExitCode::FAILURE;
+            }
+            match campaigns::write_trial_csvs(&rows, &summarize_rows(&rows), &results_dir, name) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("  wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("  FAILED to write campaign CSVs: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            ichannels_bench::banner(&format!("campaign {name}"));
+            if let Err(e) = campaigns::run_to_dir(
+                name,
+                &grid,
+                Executor::auto(),
+                &results_dir,
+                Default::default(),
+            ) {
+                eprintln!("  FAILED to run campaign {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     println!();
     println!(
         "All artifacts regenerated; CSVs in {}",
         ichannels_bench::results_dir().display()
     );
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,144 @@
+//! CLI contract tests of the `campaign` binary: argument validation
+//! exits nonzero with actionable messages, and the sharded
+//! multi-process workflow (`--shard` runs + `merge`) reproduces the
+//! unsharded artifacts byte for byte.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn campaign_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+}
+
+fn run_in(results_dir: &Path, args: &[&str]) -> Output {
+    campaign_bin()
+        .args(args)
+        .env("ICHANNELS_RESULTS", results_dir)
+        .output()
+        .expect("campaign binary runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ichannels_campaign_cli_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn unknown_campaign_exits_nonzero_with_the_catalog() {
+    let dir = temp_dir("unknown");
+    let out = run_in(&dir, &["--quick", "--campaign", "no_such_campaign"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown campaign"), "{err}");
+    for name in [
+        "client_vs_server",
+        "noise_robustness",
+        "mitigation_coverage",
+        "modulation_capacity",
+    ] {
+        assert!(
+            err.contains(name),
+            "catalog name {name} missing from: {err}"
+        );
+    }
+}
+
+#[test]
+fn malformed_shard_specs_are_rejected() {
+    let dir = temp_dir("badshard");
+    for bad in ["0/0", "3/2", "2/2", "x/3", "1", "1/2/3"] {
+        let out = run_in(&dir, &["--quick", "--shard", bad]);
+        assert!(!out.status.success(), "--shard {bad} accepted");
+        let err = stderr_of(&out);
+        assert!(err.contains("invalid shard spec"), "--shard {bad}: {err}");
+    }
+    assert!(!dir.exists(), "rejected runs must not write results");
+}
+
+#[test]
+fn sharded_processes_merge_byte_identical_to_unsharded() {
+    let full_dir = temp_dir("merge_full");
+    let shard_dir = temp_dir("merge_shards");
+    let merged_dir = temp_dir("merge_out");
+    let campaign = "noise_robustness";
+
+    let full = run_in(&full_dir, &["--quick", "--campaign", campaign]);
+    assert!(full.status.success(), "{}", stderr_of(&full));
+
+    // Three separate OS processes, one per shard.
+    let mut shard_paths = Vec::new();
+    for i in 0..3 {
+        let spec = format!("{i}/3");
+        let out = run_in(
+            &shard_dir,
+            &["--quick", "--campaign", campaign, "--shard", &spec],
+        );
+        assert!(out.status.success(), "shard {spec}: {}", stderr_of(&out));
+        shard_paths.push(shard_dir.join(format!("{campaign}_shard{i}of3_trials.jsonl")));
+    }
+
+    let mut merge = campaign_bin();
+    merge.arg("merge").arg(&merged_dir).args(&shard_paths);
+    let out = merge.output().expect("merge runs");
+    assert!(out.status.success(), "merge: {}", stderr_of(&out));
+
+    for artifact in [
+        format!("{campaign}_trials.jsonl"),
+        format!("{campaign}_trials.csv"),
+        format!("{campaign}_cells.csv"),
+    ] {
+        assert_eq!(
+            std::fs::read(full_dir.join(&artifact)).expect("unsharded artifact"),
+            std::fs::read(merged_dir.join(&artifact)).expect("merged artifact"),
+            "{artifact} diverges between unsharded and merged"
+        );
+    }
+
+    // Merging a wrong subset fails loudly.
+    let mut partial = campaign_bin();
+    partial
+        .arg("merge")
+        .arg(&merged_dir)
+        .args(&shard_paths[..2]);
+    let out = partial.output().expect("merge runs");
+    assert!(!out.status.success(), "partial merge must fail");
+    assert!(
+        stderr_of(&out).contains("merge failed"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    for dir in [&full_dir, &shard_dir, &merged_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn resume_completes_a_truncated_stream_identically() {
+    let dir = temp_dir("resume");
+    let campaign = "noise_robustness";
+    let out = run_in(&dir, &["--quick", "--campaign", campaign]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stream = dir.join(format!("{campaign}_trials.jsonl"));
+    let pristine = std::fs::read_to_string(&stream).expect("stream readable");
+
+    // Tear the stream mid-line, as an interrupted process would.
+    let cut = pristine.len() * 2 / 5;
+    std::fs::write(&stream, &pristine[..cut]).expect("torn stream written");
+
+    let out = run_in(&dir, &["--quick", "--campaign", campaign, "--resume"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("resumed"), "{stdout}");
+    assert_eq!(
+        std::fs::read_to_string(&stream).expect("stream readable"),
+        pristine,
+        "resumed stream must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

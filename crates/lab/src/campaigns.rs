@@ -1,6 +1,20 @@
 //! Ready-made campaigns: named grids answering the evaluation questions
-//! the ROADMAP keeps asking, plus the run-and-export driver.
+//! the ROADMAP keeps asking, plus the run-and-export drivers.
+//!
+//! Two execution paths:
+//!
+//! * [`run`] — in-memory: run a grid, get a [`CampaignReport`] (what
+//!   the figure harnesses use);
+//! * [`run_to_dir`] — streaming: trial rows land in the campaign's
+//!   JSONL **in enumeration order while the run executes**, optionally
+//!   restricted to one [`ShardSpec`] slice and optionally resuming a
+//!   previous partial stream (completed trials are loaded, verified
+//!   against their scenario seeds, and skipped). [`merge_files`] is
+//!   the inverse of sharding: N shard streams back into the
+//!   byte-identical unsharded artifacts.
 
+use std::collections::HashMap;
+use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -10,8 +24,12 @@ use ichannels_meter::export::JsonlWriter;
 
 use crate::exec::Executor;
 use crate::grid::Grid;
-use crate::report::{records_to_csv, summaries_to_csv, summarize_cells, CellSummary, TrialRecord};
-use crate::scenario::{AlphabetSpec, ChannelSelect, NoiseSpec, PlatformId};
+use crate::report::{
+    rows_to_csv, summaries_to_csv, summarize_cells, summarize_rows, CellSummary, TrialRecord,
+    TrialRow,
+};
+use crate::scenario::{AlphabetSpec, ChannelSelect, NoiseSpec, PlatformId, Scenario};
+use crate::shard::{merge_streams, MergeError, ShardSpec, ShardStream};
 
 /// A completed campaign: raw trials plus per-cell aggregates.
 #[derive(Debug, Clone)]
@@ -39,10 +57,8 @@ impl CampaignReport {
             writer.write_row(&record.jsonl_row())?;
         }
         writer.finish()?;
-        let trials_path = dir.join(format!("{}_trials.csv", self.name));
-        records_to_csv(&self.records).write_to(&trials_path)?;
-        let cells_path = dir.join(format!("{}_cells.csv", self.name));
-        summaries_to_csv(&self.cells).write_to(&cells_path)?;
+        let rows: Vec<TrialRow> = self.records.iter().map(TrialRow::from_record).collect();
+        let [trials_path, cells_path] = write_trial_csvs(&rows, &self.cells, dir, &self.name)?;
         Ok(vec![jsonl_path, trials_path, cells_path])
     }
 }
@@ -56,6 +72,286 @@ pub fn run(name: &str, grid: &Grid, executor: Executor) -> CampaignReport {
         records,
         cells,
     }
+}
+
+/// How a streamed campaign run executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Which slice of the grid this process runs.
+    pub shard: ShardSpec,
+    /// Scan an existing trial JSONL and skip its completed trials.
+    pub resume: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            shard: ShardSpec::full(),
+            resume: false,
+        }
+    }
+}
+
+/// A completed streamed campaign run (one shard of it, possibly
+/// resumed).
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// Campaign name.
+    pub name: String,
+    /// Export file stem (`name`, or `name_shardIofN` when sharded).
+    pub stem: String,
+    /// This run's trial rows, in grid enumeration order.
+    pub rows: Vec<TrialRow>,
+    /// Per-cell aggregates of this run's rows (partial cells for a
+    /// shard — the merged stream is the authoritative aggregate).
+    pub cells: Vec<CellSummary>,
+    /// Trials executed by this invocation.
+    pub executed: usize,
+    /// Trials reloaded from the resumed stream instead of re-run.
+    pub resumed: usize,
+    /// Files written.
+    pub paths: Vec<PathBuf>,
+}
+
+/// Loads the trial rows of a (possibly partial) campaign JSONL, keyed
+/// for resume. Header lines, truncated trailing lines, and any other
+/// unparseable content are skipped rather than failing — an
+/// interrupted run left them behind.
+fn completed_rows(path: &Path) -> HashMap<String, TrialRow> {
+    let mut completed = HashMap::new();
+    if let Ok(text) = fs::read_to_string(path) {
+        for line in text.lines() {
+            if let Ok(row) = TrialRow::parse(line) {
+                completed.insert(row.trial_key(), row);
+            }
+        }
+    }
+    completed
+}
+
+/// Runs `grid` (the `config.shard` slice of it) on `executor`,
+/// streaming trial rows to `{stem}_trials.jsonl` under `dir` in
+/// enumeration order while the run executes.
+///
+/// With `config.resume`, an existing stream at that path is scanned
+/// first: rows whose trial key **and seed** match a scheduled scenario
+/// are reloaded instead of re-run, and the file is rewritten in full —
+/// so the final artifact is byte-identical to a fresh run no matter
+/// how many times the campaign was interrupted. Unsharded runs also
+/// write the per-trial and per-cell CSVs; sharded runs write only
+/// their JSONL (CSVs are re-derived by [`merge_files`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the stream writes.
+pub fn run_to_dir(
+    name: &str,
+    grid: &Grid,
+    executor: Executor,
+    dir: impl AsRef<Path>,
+    config: RunConfig,
+) -> io::Result<CampaignRun> {
+    let dir = dir.as_ref();
+    let all = grid.scenarios();
+    let total = all.len();
+    let scenarios = config.shard.select(&all);
+    let stem = config.shard.file_stem(name);
+    let jsonl_path = dir.join(format!("{stem}_trials.jsonl"));
+
+    let completed = if config.resume {
+        completed_rows(&jsonl_path)
+    } else {
+        HashMap::new()
+    };
+    let mut rows: Vec<Option<TrialRow>> = vec![None; scenarios.len()];
+    let mut todo: Vec<Scenario> = Vec::new();
+    let mut todo_pos: Vec<usize> = Vec::new();
+    for (i, scenario) in scenarios.iter().enumerate() {
+        match completed.get(&scenario.label()) {
+            // A stale stream (changed base seed, edited grid) must not
+            // satisfy resume: the seed ties the row to the scenario.
+            Some(row) if row.seed == scenario.seed => rows[i] = Some(row.clone()),
+            _ => {
+                todo.push(scenario.clone());
+                todo_pos.push(i);
+            }
+        }
+    }
+    let resumed = scenarios.len() - todo.len();
+
+    let mut writer = JsonlWriter::create(&jsonl_path)?;
+    if !config.shard.is_full() {
+        writer.write_row(&config.shard.header_row(name, total))?;
+    }
+    // An interruption tears a stream at its tail, so reloaded rows
+    // normally form a contiguous prefix: write it back (each row is
+    // flushed) before executing anything, so a second interruption
+    // never loses progress a first one already paid for.
+    let prefix_end = todo_pos.first().copied().unwrap_or(scenarios.len());
+    for row in &rows[..prefix_end] {
+        let row = row.as_ref().expect("prefix rows are resumed");
+        writer.write_row(&row.jsonl_row())?;
+    }
+    writer.flush()?;
+    // The sink interleaves any remaining reloaded rows with fresh
+    // results so the file grows as a valid in-order prefix; I/O
+    // failures are latched and re-raised after the pool drains.
+    let mut write_err: Option<io::Error> = None;
+    let mut cursor = prefix_end;
+    let records = executor.map_streamed(&todo, Scenario::run, |j, record| {
+        if write_err.is_some() {
+            return;
+        }
+        let pos = todo_pos[j];
+        let result = (cursor..pos)
+            .try_for_each(|k| {
+                let row = rows[k].as_ref().expect("rows before a todo are resumed");
+                writer.write_row(&row.jsonl_row())
+            })
+            .and_then(|()| writer.write_row(&TrialRow::from_record(record).jsonl_row()))
+            // Per-trial flush: the live stream on disk is always a
+            // whole-line prefix of the run, so a kill costs at most
+            // the in-flight trial.
+            .and_then(|()| writer.flush());
+        match result {
+            Ok(()) => cursor = pos + 1,
+            Err(e) => write_err = Some(e),
+        }
+    });
+    let executed = records.len();
+    for (j, record) in records.iter().enumerate() {
+        rows[todo_pos[j]] = Some(TrialRow::from_record(record));
+    }
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    let rows: Vec<TrialRow> = rows
+        .into_iter()
+        .map(|row| row.expect("every slot resumed or executed"))
+        .collect();
+    for row in &rows[cursor..] {
+        writer.write_row(&row.jsonl_row())?;
+    }
+    writer.finish()?;
+
+    let cells = summarize_rows(&rows);
+    let mut paths = vec![jsonl_path];
+    if config.shard.is_full() {
+        paths.extend(write_trial_csvs(&rows, &cells, dir, &stem)?);
+    }
+    Ok(CampaignRun {
+        name: name.to_string(),
+        stem,
+        rows,
+        cells,
+        executed,
+        resumed,
+        paths,
+    })
+}
+
+/// Writes the per-trial and per-cell CSVs derived from `rows` under
+/// `dir` as `{stem}_trials.csv` / `{stem}_cells.csv` — the one
+/// derivation shared by unsharded runs, `merge_files`, and
+/// `repro_all --merged`, so the artifacts those paths produce can
+/// never drift apart. Returns the two paths.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writes.
+pub fn write_trial_csvs(
+    rows: &[TrialRow],
+    cells: &[CellSummary],
+    dir: impl AsRef<Path>,
+    stem: &str,
+) -> io::Result<[PathBuf; 2]> {
+    let dir = dir.as_ref();
+    let trials_path = dir.join(format!("{stem}_trials.csv"));
+    rows_to_csv(rows).write_to(&trials_path)?;
+    let cells_path = dir.join(format!("{stem}_cells.csv"));
+    summaries_to_csv(cells).write_to(&cells_path)?;
+    Ok([trials_path, cells_path])
+}
+
+/// Loads a complete (headerless, e.g. merged or unsharded) trial
+/// stream back into rows.
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable files and `InvalidData` for any
+/// line that is not a trial row — unlike resume's lenient scan, a
+/// stream consumed as an artifact must be whole.
+pub fn load_trials(path: impl AsRef<Path>) -> io::Result<Vec<TrialRow>> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            TrialRow::parse(line).map_err(|message| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {message}", path.display(), i + 1),
+                )
+            })
+        })
+        .collect()
+}
+
+/// A merged campaign: the reassembled stream plus its re-derived
+/// artifacts.
+#[derive(Debug, Clone)]
+pub struct MergedCampaign {
+    /// Campaign name recorded in the shard headers.
+    pub name: String,
+    /// The merged trial rows, in grid enumeration order.
+    pub rows: Vec<TrialRow>,
+    /// Per-cell aggregates re-derived from the merged stream.
+    pub cells: Vec<CellSummary>,
+    /// Files written.
+    pub paths: Vec<PathBuf>,
+}
+
+/// Merges N sharded trial streams back into the unsharded artifacts:
+/// `{name}_trials.jsonl`, `{name}_trials.csv`, and `{name}_cells.csv`
+/// under `out_dir`, byte-identical to what an unsharded run writes.
+///
+/// # Errors
+///
+/// Returns [`MergeError`] when the inputs are not exactly the N shards
+/// of one campaign run (see [`merge_streams`]), or wraps the I/O error
+/// if reading an input or writing an artifact fails.
+pub fn merge_files<P: AsRef<Path>>(
+    out_dir: impl AsRef<Path>,
+    inputs: &[P],
+) -> Result<MergedCampaign, MergeError> {
+    let streams = inputs
+        .iter()
+        .map(ShardStream::read)
+        .collect::<Result<Vec<_>, _>>()?;
+    let (name, rows) = merge_streams(streams)?;
+    let out_dir = out_dir.as_ref();
+    fn io_err(path: &Path) -> impl Fn(io::Error) -> MergeError + '_ {
+        move |e| MergeError::Io(format!("{}: {e}", path.display()))
+    }
+    let jsonl_path = out_dir.join(format!("{name}_trials.jsonl"));
+    (|| -> io::Result<()> {
+        let mut writer = JsonlWriter::create(&jsonl_path)?;
+        for row in &rows {
+            writer.write_row(&row.jsonl_row())?;
+        }
+        writer.finish()?;
+        Ok(())
+    })()
+    .map_err(io_err(&jsonl_path))?;
+    let cells = summarize_rows(&rows);
+    let [trials_path, cells_path] =
+        write_trial_csvs(&rows, &cells, out_dir, &name).map_err(io_err(out_dir))?;
+    Ok(MergedCampaign {
+        name,
+        rows,
+        cells,
+        paths: vec![jsonl_path, trials_path, cells_path],
+    })
 }
 
 /// Client-vs-server sweep: all three channels across the client
@@ -190,6 +486,149 @@ mod tests {
         assert_eq!(mitigation_coverage(true).scenarios().len(), 15);
         // modulation_capacity: 2 platforms × 2 kinds × 3 alphabets.
         assert_eq!(modulation_capacity(true).scenarios().len(), 12);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ichannels_lab_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_grid() -> Grid {
+        Grid::new()
+            .kinds(&[ChannelKind::Thread, ChannelKind::Cores])
+            .noises(vec![NoiseSpec::Quiet, NoiseSpec::Low])
+            .trials(2)
+            .payload_symbols(4)
+    }
+
+    #[test]
+    fn run_to_dir_matches_the_in_memory_report() {
+        let dir = temp_dir("run_to_dir");
+        let grid = small_grid();
+        let run_out =
+            run_to_dir("unit", &grid, Executor::new(3), &dir, RunConfig::default()).unwrap();
+        assert_eq!(run_out.executed, 8);
+        assert_eq!(run_out.resumed, 0);
+        assert_eq!(run_out.paths.len(), 3, "jsonl + trials csv + cells csv");
+        let report = run("unit", &grid, Executor::serial());
+        let report_dir = temp_dir("run_to_dir_report");
+        let report_paths = report.write_to(&report_dir).unwrap();
+        for (a, b) in run_out.paths.iter().zip(&report_paths) {
+            assert_eq!(
+                std::fs::read_to_string(a).unwrap(),
+                std::fs::read_to_string(b).unwrap(),
+                "{} diverges from {}",
+                a.display(),
+                b.display()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&report_dir);
+    }
+
+    #[test]
+    fn sharded_runs_merge_back_byte_identical() {
+        let dir = temp_dir("shard_merge");
+        let grid = small_grid();
+        let full = run_to_dir(
+            "unit",
+            &grid,
+            Executor::serial(),
+            &dir,
+            RunConfig::default(),
+        )
+        .unwrap();
+        let mut shard_paths = Vec::new();
+        for index in 0..3 {
+            let config = RunConfig {
+                shard: ShardSpec::new(index, 3).unwrap(),
+                resume: false,
+            };
+            let shard_run = run_to_dir("unit", &grid, Executor::new(2), &dir, config).unwrap();
+            assert_eq!(shard_run.paths.len(), 1, "shards write JSONL only");
+            // The shard stream leads with its header line.
+            let text = std::fs::read_to_string(&shard_run.paths[0]).unwrap();
+            assert!(text.starts_with("{\"shard_campaign\":\"unit\""), "{text}");
+            shard_paths.push(shard_run.paths[0].clone());
+        }
+        let merged_dir = temp_dir("shard_merge_out");
+        let merged = merge_files(&merged_dir, &shard_paths).unwrap();
+        assert_eq!(merged.name, "unit");
+        assert_eq!(merged.rows.len(), full.rows.len());
+        for (merged_path, full_path) in merged.paths.iter().zip(&full.paths) {
+            assert_eq!(
+                std::fs::read_to_string(merged_path).unwrap(),
+                std::fs::read_to_string(full_path).unwrap(),
+                "{} diverges",
+                merged_path.display()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&merged_dir);
+    }
+
+    #[test]
+    fn resume_skips_completed_trials_and_rewrites_identically() {
+        let dir = temp_dir("resume");
+        let grid = small_grid();
+        let fresh = run_to_dir(
+            "unit",
+            &grid,
+            Executor::serial(),
+            &dir,
+            RunConfig::default(),
+        )
+        .unwrap();
+        let jsonl = &fresh.paths[0];
+        let pristine = std::fs::read_to_string(jsonl).unwrap();
+        // Simulate an interruption: keep 3 complete rows and one
+        // truncated line (the classic torn tail of a killed process).
+        let lines: Vec<&str> = pristine.lines().collect();
+        let torn = format!(
+            "{}\n{}\n",
+            lines[..3].join("\n"),
+            &lines[3][..lines[3].len() / 2]
+        );
+        std::fs::write(jsonl, &torn).unwrap();
+        let resume = RunConfig {
+            shard: ShardSpec::full(),
+            resume: true,
+        };
+        let resumed = run_to_dir("unit", &grid, Executor::new(2), &dir, resume).unwrap();
+        assert_eq!(resumed.resumed, 3, "three intact rows reloaded");
+        assert_eq!(resumed.executed, 5, "torn + missing trials re-run");
+        assert_eq!(std::fs::read_to_string(jsonl).unwrap(), pristine);
+        // A second resume of the complete stream re-runs nothing.
+        let again = run_to_dir("unit", &grid, Executor::serial(), &dir, resume).unwrap();
+        assert_eq!(again.resumed, 8);
+        assert_eq!(again.executed, 0);
+        assert_eq!(std::fs::read_to_string(jsonl).unwrap(), pristine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_ignores_stale_seeds() {
+        let dir = temp_dir("resume_stale");
+        let grid = small_grid();
+        run_to_dir(
+            "unit",
+            &grid,
+            Executor::serial(),
+            &dir,
+            RunConfig::default(),
+        )
+        .unwrap();
+        // A different base seed invalidates every cached row.
+        let reseeded = small_grid().base_seed(0xDEAD_BEEF);
+        let resume = RunConfig {
+            shard: ShardSpec::full(),
+            resume: true,
+        };
+        let rerun = run_to_dir("unit", &reseeded, Executor::serial(), &dir, resume).unwrap();
+        assert_eq!(rerun.resumed, 0, "stale rows must not satisfy resume");
+        assert_eq!(rerun.executed, 8);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

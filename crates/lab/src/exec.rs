@@ -12,7 +12,6 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use crate::report::TrialRecord;
 use crate::scenario::Scenario;
@@ -69,34 +68,61 @@ impl Executor {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.map_streamed(items, f, |_, _| {})
+    }
+
+    /// [`Executor::map`], additionally delivering every result to
+    /// `sink` **in input order, as it becomes available** — results
+    /// are reordered through a completion buffer, so the sink observes
+    /// the same sequence for any worker count. This is the streaming
+    /// path campaign runs use to keep their JSONL a valid prefix of
+    /// the full output while still executing (what makes interrupted
+    /// campaigns resumable).
+    pub fn map_streamed<T, R, F, S>(&self, items: &[T], f: F, mut sink: S) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        S: FnMut(usize, &R),
+    {
         if items.is_empty() {
             return Vec::new();
         }
         let next = Arc::new(AtomicUsize::new(0));
-        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
         let f = &f;
+        let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
         std::thread::scope(|scope| {
             let workers = self.threads.min(items.len());
             for _ in 0..workers {
                 let next = Arc::clone(&next);
-                let slots = &slots;
+                let tx = tx.clone();
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
                     let result = f(&items[i]);
-                    *slots[i].lock().expect("unpoisoned slot") = Some(result);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
                 });
+            }
+            drop(tx);
+            // The calling thread drains completions, emitting the
+            // in-order prefix as it fills in.
+            let mut emitted = 0;
+            for (i, result) in rx {
+                slots[i] = Some(result);
+                while let Some(Some(ready)) = slots.get(emitted) {
+                    sink(emitted, ready);
+                    emitted += 1;
+                }
             }
         });
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("unpoisoned slot")
-                    .expect("every slot filled")
-            })
+            .map(|slot| slot.expect("every slot filled"))
             .collect()
     }
 }
@@ -111,6 +137,22 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_output() {
         assert!(Executor::new(4).run(&[]).is_empty());
+    }
+
+    #[test]
+    fn streamed_sink_observes_results_in_input_order() {
+        let items: Vec<u64> = (0..40).collect();
+        // Skew per-item latency so completion order differs wildly
+        // from input order on a parallel pool.
+        let slow_square = |v: &u64| {
+            std::thread::sleep(std::time::Duration::from_micros((40 - v) * 50));
+            v * v
+        };
+        let mut seen = Vec::new();
+        let out = Executor::new(4).map_streamed(&items, slow_square, |i, r| seen.push((i, *r)));
+        assert_eq!(out, items.iter().map(|v| v * v).collect::<Vec<_>>());
+        let expected: Vec<(usize, u64)> = items.iter().map(|&v| (v as usize, v * v)).collect();
+        assert_eq!(seen, expected, "sink saw out-of-order or missing results");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`report`] — per-trial records, per-cell aggregation through
 //!   `ichannels_meter::stats`, and streaming JSONL + CSV export through
 //!   `ichannels_meter::export`;
+//! * [`shard`] — [`ShardSpec`]: deterministic round-robin partitioning
+//!   of a campaign across processes, plus stream reload and merge back
+//!   into enumeration order (byte-identical to an unsharded run);
 //! * [`trace`] — [`trace::TraceSpec`]: the characterization timelines
 //!   (Figures 6, 7(b), 9) as declarative specs run on the same pool;
 //! * [`campaigns`] — ready-made campaigns: client-vs-server,
@@ -62,14 +65,16 @@ pub mod exec;
 pub mod grid;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 pub mod trace;
 
-pub use campaigns::CampaignReport;
+pub use campaigns::{CampaignReport, CampaignRun, MergedCampaign, RunConfig};
 pub use exec::Executor;
 pub use grid::Grid;
-pub use report::{CellSummary, TrialMetrics, TrialRecord};
+pub use report::{CellSummary, TrialMetrics, TrialRecord, TrialRow};
 pub use scenario::{
     AlphabetSpec, AppKind, AppSpec, BaselineKind, ChannelSelect, IdqCondition, Knob, NoiseSpec,
     PayloadSpec, PlatformId, ProbeKind, Scenario,
 };
+pub use shard::{MergeError, ShardSpec, ShardStream};
 pub use trace::{TraceProgram, TraceRun, TraceSpec};

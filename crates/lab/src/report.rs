@@ -4,10 +4,17 @@
 //! order); cells aggregate through [`ichannels_meter::stats`] into
 //! summary rows (mean/σ BER, throughput distribution percentiles,
 //! capacity) rendered as CSV.
+//!
+//! Rendering is row-based: a [`TrialRecord`] (live scenario + metrics)
+//! lowers to a [`TrialRow`] (the exported field set), and a `TrialRow`
+//! also parses back from a JSONL line. Writer and reader share the one
+//! [`TrialRow::jsonl_row`] render path, which is what makes shard
+//! merge/resume byte-identical to a fresh unsharded run.
 
 use std::collections::BTreeMap;
 
 use ichannels_meter::export::{CsvTable, JsonlRow};
+use ichannels_meter::parse::{field, parse_jsonl_line, JsonValue};
 use ichannels_meter::stats::{percentile, summarize, Summary};
 
 use crate::scenario::{mitigations_label, AppSpec, Scenario};
@@ -53,21 +60,78 @@ pub struct TrialRecord {
 impl TrialRecord {
     /// Renders the record as one JSONL row (stable field order).
     pub fn jsonl_row(&self) -> JsonlRow {
-        let s = &self.scenario;
+        TrialRow::from_record(self).jsonl_row()
+    }
+}
+
+/// The exported field set of one trial: what a JSONL/CSV row carries.
+///
+/// A `TrialRow` is a [`TrialRecord`] stripped to its serialized axis
+/// labels — enough to rebuild the trial CSV and the per-cell summaries
+/// from a reloaded stream, and to key resume/merge dedup, but not to
+/// re-run the trial (a row has no `calib_reps`, for instance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRow {
+    /// Cell key (every axis except the trial index).
+    pub cell: String,
+    /// Platform label.
+    pub platform: String,
+    /// Channel label.
+    pub channel: String,
+    /// Noise label.
+    pub noise: String,
+    /// Mitigation-set label.
+    pub mitigations: String,
+    /// Concurrent-app label (`"noapp"` when undisturbed).
+    pub app: String,
+    /// Payload-shape label.
+    pub payload: String,
+    /// Trial index within the cell.
+    pub trial: u64,
+    /// The trial's master seed.
+    pub seed: u64,
+    /// The measurements.
+    pub metrics: TrialMetrics,
+}
+
+impl TrialRow {
+    /// Lowers a live record to its exported row.
+    pub fn from_record(record: &TrialRecord) -> Self {
+        let s = &record.scenario;
+        TrialRow {
+            cell: s.cell_key(),
+            platform: s.platform.label().to_string(),
+            channel: s.channel.label(),
+            noise: s.noise.label(),
+            mitigations: mitigations_label(&s.mitigations),
+            app: s.app.map_or_else(|| "noapp".to_string(), AppSpec::label),
+            payload: s.payload.label(),
+            trial: u64::from(s.trial),
+            seed: s.seed,
+            metrics: record.metrics,
+        }
+    }
+
+    /// The unique trial key (`cell#trial`) — matches
+    /// [`Scenario::label`], so resume can match rows to scenarios.
+    pub fn trial_key(&self) -> String {
+        format!("{}#{}", self.cell, self.trial)
+    }
+
+    /// Renders the row as one JSONL object (stable field order) — the
+    /// single render path shared by fresh runs and reloaded streams.
+    pub fn jsonl_row(&self) -> JsonlRow {
         let m = &self.metrics;
         JsonlRow::new()
-            .str("cell", &s.cell_key())
-            .str("platform", s.platform.label())
-            .str("channel", &s.channel.label())
-            .str("noise", &s.noise.label())
-            .str("mitigations", &mitigations_label(&s.mitigations))
-            .str(
-                "app",
-                &s.app.map_or_else(|| "noapp".to_string(), AppSpec::label),
-            )
-            .str("payload", &s.payload.label())
-            .int("trial", u64::from(s.trial))
-            .int("seed", s.seed)
+            .str("cell", &self.cell)
+            .str("platform", &self.platform)
+            .str("channel", &self.channel)
+            .str("noise", &self.noise)
+            .str("mitigations", &self.mitigations)
+            .str("app", &self.app)
+            .str("payload", &self.payload)
+            .int("trial", self.trial)
+            .int("seed", self.seed)
             .int("n_symbols", m.n_symbols as u64)
             .num("ber", m.ber)
             .num("ser", m.ser)
@@ -77,6 +141,55 @@ impl TrialRecord {
             .num("min_separation_cycles", m.min_separation_cycles)
             .num("probe_value", m.probe_value)
             .num("probe_aux", m.probe_aux)
+    }
+
+    /// Parses one JSONL trial line back into a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field
+    /// (or the underlying JSON syntax error) — truncated lines from an
+    /// interrupted campaign land here and are skipped by resume.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let fields = parse_jsonl_line(line).map_err(|e| e.to_string())?;
+        let text = |key: &str| -> Result<String, String> {
+            field(&fields, key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let uint = |key: &str| -> Result<u64, String> {
+            field(&fields, key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing integer field `{key}`"))
+        };
+        let float = |key: &str| -> Result<f64, String> {
+            field(&fields, key)
+                .and_then(JsonValue::as_f64_or_nan)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        };
+        Ok(TrialRow {
+            cell: text("cell")?,
+            platform: text("platform")?,
+            channel: text("channel")?,
+            noise: text("noise")?,
+            mitigations: text("mitigations")?,
+            app: text("app")?,
+            payload: text("payload")?,
+            trial: uint("trial")?,
+            seed: uint("seed")?,
+            metrics: TrialMetrics {
+                n_symbols: uint("n_symbols")? as usize,
+                ber: float("ber")?,
+                ser: float("ser")?,
+                throughput_bps: float("throughput_bps")?,
+                capacity_bps: float("capacity_bps")?,
+                mi_bits_per_symbol: float("mi_bits_per_symbol")?,
+                min_separation_cycles: float("min_separation_cycles")?,
+                probe_value: float("probe_value")?,
+                probe_aux: float("probe_aux")?,
+            },
+        })
     }
 }
 
@@ -110,22 +223,21 @@ pub const TRIAL_CSV_HEADER: [&str; 18] = [
     "probe_aux",
 ];
 
-/// Renders raw trial records as one CSV table.
-pub fn records_to_csv(records: &[TrialRecord]) -> CsvTable {
+/// Renders trial rows as one CSV table.
+pub fn rows_to_csv(rows: &[TrialRow]) -> CsvTable {
     let mut table = CsvTable::new(TRIAL_CSV_HEADER);
-    for r in records {
-        let s = &r.scenario;
+    for r in rows {
         let m = &r.metrics;
         table.push_row([
-            s.cell_key(),
-            s.platform.label().to_string(),
-            s.channel.label(),
-            s.noise.label(),
-            mitigations_label(&s.mitigations),
-            s.app.map_or_else(|| "noapp".to_string(), AppSpec::label),
-            s.payload.label(),
-            s.trial.to_string(),
-            s.seed.to_string(),
+            r.cell.clone(),
+            r.platform.clone(),
+            r.channel.clone(),
+            r.noise.clone(),
+            r.mitigations.clone(),
+            r.app.clone(),
+            r.payload.clone(),
+            r.trial.to_string(),
+            r.seed.to_string(),
             m.n_symbols.to_string(),
             csv_float(m.ber),
             csv_float(m.ser),
@@ -138,6 +250,18 @@ pub fn records_to_csv(records: &[TrialRecord]) -> CsvTable {
         ]);
     }
     table
+}
+
+/// Renders raw trial records as one CSV table.
+pub fn records_to_csv(records: &[TrialRecord]) -> CsvTable {
+    let rows: Vec<TrialRow> = records.iter().map(TrialRow::from_record).collect();
+    rows_to_csv(&rows)
+}
+
+/// Renders trial rows as one in-memory JSONL document.
+pub fn rows_to_jsonl(rows: &[TrialRow]) -> String {
+    let rendered: Vec<JsonlRow> = rows.iter().map(TrialRow::jsonl_row).collect();
+    ichannels_meter::export::jsonl_to_string(rendered.iter())
 }
 
 /// Renders records as one in-memory JSONL document (used by the
@@ -169,9 +293,8 @@ pub struct CellSummary {
     pub probe: Option<Summary>,
 }
 
-fn finite(records: &[&TrialRecord], f: impl Fn(&TrialMetrics) -> f64) -> Vec<f64> {
-    records
-        .iter()
+fn finite(rows: &[&TrialRow], f: impl Fn(&TrialMetrics) -> f64) -> Vec<f64> {
+    rows.iter()
         .map(|r| f(&r.metrics))
         .filter(|v| v.is_finite())
         .collect()
@@ -180,9 +303,16 @@ fn finite(records: &[&TrialRecord], f: impl Fn(&TrialMetrics) -> f64) -> Vec<f64
 /// Groups records by cell key and aggregates each group. Output is
 /// sorted by cell key, so summaries are deterministic.
 pub fn summarize_cells(records: &[TrialRecord]) -> Vec<CellSummary> {
-    let mut groups: BTreeMap<String, Vec<&TrialRecord>> = BTreeMap::new();
-    for r in records {
-        groups.entry(r.scenario.cell_key()).or_default().push(r);
+    let rows: Vec<TrialRow> = records.iter().map(TrialRow::from_record).collect();
+    summarize_rows(&rows)
+}
+
+/// Groups trial rows by cell key and aggregates each group — the same
+/// math as [`summarize_cells`], applied to a reloaded (merged) stream.
+pub fn summarize_rows(rows: &[TrialRow]) -> Vec<CellSummary> {
+    let mut groups: BTreeMap<String, Vec<&TrialRow>> = BTreeMap::new();
+    for r in rows {
+        groups.entry(r.cell.clone()).or_default().push(r);
     }
     groups
         .into_iter()
@@ -300,6 +430,51 @@ mod tests {
             assert!(p5 <= p50 && p50 <= p95);
         }
         assert_eq!(summaries_to_csv(&cells).len(), 2);
+    }
+
+    #[test]
+    fn rows_round_trip_byte_exactly() {
+        let mut records = sample_records();
+        // Exercise the NaN → null → NaN path too.
+        records[0].metrics.capacity_bps = f64::NAN;
+        let rows: Vec<TrialRow> = records.iter().map(TrialRow::from_record).collect();
+        let rendered = rows_to_jsonl(&rows);
+        assert_eq!(rendered, records_to_jsonl(&records));
+        let reparsed: Vec<TrialRow> = rendered
+            .lines()
+            .map(|l| TrialRow::parse(l).expect("row parses"))
+            .collect();
+        // Byte-identical re-rendering (JSONL and CSV), identical cells.
+        assert_eq!(rows_to_jsonl(&reparsed), rendered);
+        assert_eq!(
+            rows_to_csv(&reparsed).to_csv(),
+            records_to_csv(&records).to_csv()
+        );
+        assert_eq!(
+            summaries_to_csv(&summarize_rows(&reparsed)).to_csv(),
+            summaries_to_csv(&summarize_cells(&records)).to_csv()
+        );
+        // Keys match the scenario labels resume looks up.
+        for (row, record) in reparsed.iter().zip(&records) {
+            assert_eq!(row.trial_key(), record.scenario.label());
+            assert_eq!(row.seed, record.scenario.seed);
+        }
+    }
+
+    #[test]
+    fn truncated_rows_fail_to_parse() {
+        let records = sample_records();
+        let line = records_to_jsonl(&records[..1]);
+        let line = line.trim_end();
+        assert!(TrialRow::parse(line).is_ok());
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(
+                TrialRow::parse(&line[..cut]).is_err(),
+                "accepted truncation at {cut}"
+            );
+        }
+        // A structurally valid object missing trial fields also fails.
+        assert!(TrialRow::parse("{\"cell\":\"x\"}").is_err());
     }
 
     #[test]

@@ -220,6 +220,20 @@ impl JsonlWriter {
         Ok(())
     }
 
+    /// Flushes buffered rows to disk without closing the stream.
+    ///
+    /// Live campaign streams flush after every accepted trial so the
+    /// file on disk is always a whole-line prefix of the run (at most
+    /// the final line torn) — the invariant resume leans on after an
+    /// interruption. Bulk rewrites (merge) skip per-row flushing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
     /// Number of rows written so far.
     pub fn rows_written(&self) -> usize {
         self.rows
@@ -329,6 +343,22 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = content.lines().collect();
         assert_eq!(lines, ["{\"i\":0}", "{\"i\":1}", "{\"i\":2}"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flushed_jsonl_rows_are_durable_before_finish() {
+        // Resume leans on this: a flushed row reaches the file while
+        // the stream is still open, so a killed campaign loses at most
+        // a torn tail.
+        let dir = std::env::temp_dir().join("ichannels_jsonl_flush_test");
+        let path = dir.join("t.jsonl");
+        let mut w = JsonlWriter::create(&path).unwrap();
+        w.write_row(&JsonlRow::new().int("i", 7)).unwrap();
+        w.flush().unwrap();
+        // Read back while the writer is still open and unfinished.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"i\":7}\n");
+        drop(w);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

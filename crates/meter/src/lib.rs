@@ -10,7 +10,10 @@
 //!   (Figure 14, channel capacity).
 //! * [`series`] — time-series utilities (moving averages, automatic
 //!   step detection for the Figure 6 voltage staircase).
-//! * [`export`] — CSV tables for `results/*.csv`.
+//! * [`export`] — CSV tables for `results/*.csv` and the JSONL trial
+//!   stream writer.
+//! * [`parse`] — the JSONL read side: reload campaign trial streams
+//!   for shard merging and resume.
 //!
 //! # Example
 //!
@@ -30,10 +33,12 @@
 
 pub mod daq;
 pub mod export;
+pub mod parse;
 pub mod series;
 pub mod stats;
 
 pub use daq::{Daq, DaqConfig, DaqSample};
 pub use export::CsvTable;
+pub use parse::{parse_jsonl_line, JsonParseError, JsonValue};
 pub use series::{Series, Step};
 pub use stats::{ConfusionMatrix, Histogram, Summary};

@@ -1,0 +1,206 @@
+//! Integration tests of the shard/merge/resume subsystem: for any
+//! shard count the shards are an exact, duplicate-free cover of the
+//! unsharded run; merging reassembles byte-identical artifacts (for
+//! every catalog campaign); and an interrupted campaign resumes
+//! without redoing finished trials.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use ichannels_meter::export::jsonl_to_string;
+use ichannels_repro::ichannels::channel::ChannelKind;
+use ichannels_repro::ichannels_lab::campaigns::{self, RunConfig};
+use ichannels_repro::ichannels_lab::report::{rows_to_jsonl, TrialRow};
+use ichannels_repro::ichannels_lab::scenario::NoiseSpec;
+use ichannels_repro::ichannels_lab::shard::{merge_streams, ShardStream};
+use ichannels_repro::ichannels_lab::{Executor, Grid, ShardSpec};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ichannels_sharding_{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn reference_grid() -> Grid {
+    Grid::new()
+        .kinds(&[ChannelKind::Thread, ChannelKind::Cores])
+        .noises(vec![NoiseSpec::Quiet, NoiseSpec::Low])
+        .trials(3)
+        .payload_symbols(4)
+}
+
+/// The reference run's rows, computed once (12 scenarios).
+fn reference_rows() -> &'static Vec<TrialRow> {
+    static ROWS: OnceLock<Vec<TrialRow>> = OnceLock::new();
+    ROWS.get_or_init(|| {
+        Executor::new(4)
+            .run(&reference_grid().scenarios())
+            .iter()
+            .map(TrialRow::from_record)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn shards_cover_the_unsharded_run_exactly_once(count in 1usize..=8) {
+        let scenarios = reference_grid().scenarios();
+        let mut concatenated = Vec::new();
+        for index in 0..count {
+            let spec = ShardSpec::new(index, count).expect("valid spec");
+            let part = spec.select(&scenarios);
+            // Balanced partition: sizes differ by at most one.
+            prop_assert!(part.len().abs_diff(scenarios.len() / count) <= 1);
+            concatenated.extend(part);
+        }
+        prop_assert_eq!(concatenated.len(), scenarios.len());
+        // Duplicate-free cover: sorting the concatenation by trial key
+        // reproduces the sorted unsharded list exactly — no scenario
+        // lost, duplicated, or altered (seeds included).
+        let key = |s: &ichannels_repro::ichannels_lab::Scenario| (s.label(), s.seed);
+        let mut got: Vec<_> = concatenated.iter().map(key).collect();
+        let mut want: Vec<_> = scenarios.iter().map(key).collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    // Single-shard (1/1) runs carry no header and need no merge, so
+    // the merge property ranges over genuine shard counts.
+    fn merged_streams_are_byte_identical_for_any_shard_count(count in 2usize..=8) {
+        let rows = reference_rows();
+        let unsharded = rows_to_jsonl(rows);
+        let streams: Vec<ShardStream> = (0..count)
+            .map(|index| {
+                let spec = ShardSpec::new(index, count).expect("valid spec");
+                let mut doc = jsonl_to_string([spec.header_row("ref", rows.len())].iter());
+                doc.push_str(&rows_to_jsonl(&spec.select(rows)));
+                ShardStream::parse("mem", &doc).expect("stream parses")
+            })
+            .collect();
+        let (name, merged) = merge_streams(streams).expect("streams merge");
+        prop_assert_eq!(name, "ref");
+        prop_assert_eq!(rows_to_jsonl(&merged), unsharded);
+    }
+}
+
+#[test]
+fn every_catalog_campaign_shards_and_merges_byte_identically() {
+    // The acceptance sweep: shards 0/3..2/3 run serially (the CI
+    // matrix runs them in 3 separate processes), merge, and every
+    // artifact must match the unsharded run byte for byte.
+    let full_dir = temp_dir("catalog_full");
+    let shard_dir = temp_dir("catalog_shards");
+    let merged_dir = temp_dir("catalog_merged");
+    for (name, grid) in campaigns::catalog(true) {
+        let full = campaigns::run_to_dir(
+            name,
+            &grid,
+            Executor::auto(),
+            &full_dir,
+            RunConfig::default(),
+        )
+        .expect("unsharded run");
+        let mut shard_paths = Vec::new();
+        for index in 0..3 {
+            let config = RunConfig {
+                shard: ShardSpec::new(index, 3).expect("valid spec"),
+                resume: false,
+            };
+            let shard = campaigns::run_to_dir(name, &grid, Executor::auto(), &shard_dir, config)
+                .expect("shard run");
+            shard_paths.push(shard.paths[0].clone());
+        }
+        let merged = campaigns::merge_files(&merged_dir, &shard_paths).expect("shards merge");
+        assert_eq!(merged.name, name);
+        assert_eq!(merged.paths.len(), full.paths.len());
+        for (merged_path, full_path) in merged.paths.iter().zip(&full.paths) {
+            assert_eq!(
+                fs::read(merged_path).expect("merged artifact"),
+                fs::read(full_path).expect("unsharded artifact"),
+                "{name}: {} diverges from {}",
+                merged_path.display(),
+                full_path.display()
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&full_dir);
+    let _ = fs::remove_dir_all(&shard_dir);
+    let _ = fs::remove_dir_all(&merged_dir);
+}
+
+#[test]
+fn interrupted_campaign_resumes_without_redoing_finished_trials() {
+    let dir = temp_dir("resume");
+    let grid = reference_grid();
+    let fresh = campaigns::run_to_dir("ref", &grid, Executor::auto(), &dir, RunConfig::default())
+        .expect("fresh run");
+    assert_eq!(fresh.executed, 12);
+    let jsonl = &fresh.paths[0];
+    let pristine = fs::read_to_string(jsonl).expect("stream readable");
+
+    // Kill the campaign mid-stream: 7 intact rows, then a line torn
+    // mid-write by the "crash".
+    let lines: Vec<&str> = pristine.lines().collect();
+    let torn = format!(
+        "{}\n{}",
+        lines[..7].join("\n"),
+        &lines[7][..lines[7].len() / 3]
+    );
+    fs::write(jsonl, &torn).expect("truncation written");
+
+    let resume = RunConfig {
+        shard: ShardSpec::full(),
+        resume: true,
+    };
+    let resumed =
+        campaigns::run_to_dir("ref", &grid, Executor::auto(), &dir, resume).expect("resumed run");
+    assert_eq!(resumed.resumed, 7, "intact prefix reloaded, not re-run");
+    assert_eq!(resumed.executed, 5, "torn row and the rest re-run");
+    assert_eq!(
+        fs::read_to_string(jsonl).expect("stream readable"),
+        pristine,
+        "resumed stream must be byte-identical to the uninterrupted run"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_resume_composes() {
+    // A shard interrupted and resumed still merges byte-identically.
+    let dir = temp_dir("shard_resume");
+    let grid = reference_grid();
+    let spec = ShardSpec::new(1, 2).expect("valid spec");
+    let sharded = RunConfig {
+        shard: spec,
+        resume: false,
+    };
+    let shard =
+        campaigns::run_to_dir("ref", &grid, Executor::auto(), &dir, sharded).expect("shard run");
+    let pristine = fs::read_to_string(&shard.paths[0]).expect("stream readable");
+    // Truncate to the header plus two rows.
+    let keep: Vec<&str> = pristine.lines().take(3).collect();
+    fs::write(&shard.paths[0], format!("{}\n", keep.join("\n"))).expect("truncated");
+    let resumed = campaigns::run_to_dir(
+        "ref",
+        &grid,
+        Executor::auto(),
+        &dir,
+        RunConfig {
+            shard: spec,
+            resume: true,
+        },
+    )
+    .expect("resumed shard");
+    assert_eq!(resumed.resumed, 2);
+    assert_eq!(resumed.executed, shard.rows.len() - 2);
+    assert_eq!(
+        fs::read_to_string(&shard.paths[0]).expect("stream readable"),
+        pristine
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
