@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Campaigns: `client_vs_server`, `noise_robustness`,
-//! `mitigation_coverage`, `modulation_capacity`, or `all`. Results
+//! `mitigation_coverage`, `modulation_capacity`,
+//! `receiver_calibration`, or `all`. Results
 //! stream to `results/<name>_trials.jsonl` (plus per-trial and
 //! per-cell CSVs for unsharded runs; override the directory with
 //! `ICHANNELS_RESULTS`). `--shard I/N` runs the deterministic
@@ -49,8 +50,23 @@ fn usage() -> ExitCode {
 
 fn merge_main(args: &[String]) -> ExitCode {
     let (out_dir, inputs) = match args {
-        [] | [_] => {
+        [] => {
             eprintln!("merge needs an output directory and at least two shard streams");
+            return usage();
+        }
+        [out_dir] => {
+            eprintln!(
+                "merge {out_dir}: no shard streams given — pass every \
+                 <name>_shardIofN_trials.jsonl of one campaign"
+            );
+            return usage();
+        }
+        [out_dir, single] => {
+            eprintln!(
+                "merge {out_dir}: only one shard stream given ({single}) — a lone stream \
+                 is either already complete (unsharded) or missing its sibling shards; \
+                 pass every shard of the campaign, or copy the file instead of merging"
+            );
             return usage();
         }
         [out_dir, inputs @ ..] => (PathBuf::from(out_dir), inputs),

@@ -40,6 +40,7 @@ fn unknown_campaign_exits_nonzero_with_the_catalog() {
         "noise_robustness",
         "mitigation_coverage",
         "modulation_capacity",
+        "receiver_calibration",
     ] {
         assert!(
             err.contains(name),
@@ -116,6 +117,47 @@ fn sharded_processes_merge_byte_identical_to_unsharded() {
     for dir in [&full_dir, &shard_dir, &merged_dir] {
         let _ = std::fs::remove_dir_all(dir);
     }
+}
+
+#[test]
+fn merge_without_enough_streams_fails_actionably() {
+    let dir = temp_dir("merge_contract");
+    std::fs::create_dir_all(&dir).expect("dir created");
+    let out_dir = dir.join("out");
+
+    // Zero inputs after the output directory.
+    let out = campaign_bin()
+        .arg("merge")
+        .arg(&out_dir)
+        .output()
+        .expect("merge runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("no shard streams given"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    // A single input: a lone stream is never a mergeable campaign.
+    let lone = dir.join("demo_trials.jsonl");
+    std::fs::write(&lone, "{\"cell\":\"x\"}\n").expect("lone stream written");
+    let out = campaign_bin()
+        .arg("merge")
+        .arg(&out_dir)
+        .arg(&lone)
+        .output()
+        .expect("merge runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("only one shard stream given"), "{err}");
+    assert!(err.contains("copy the file"), "{err}");
+
+    // Neither rejected invocation may leave artifacts behind.
+    assert!(
+        !out_dir.exists(),
+        "rejected merges must not write artifacts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

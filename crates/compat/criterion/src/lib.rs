@@ -3,8 +3,9 @@
 //! crate takes the `criterion` package name.
 //!
 //! Benchmarks run a short warm-up, then time `sample_size` batches and
-//! print min/mean per-iteration durations. No statistical analysis, no
-//! HTML reports — just enough to keep `cargo bench` useful offline.
+//! print mean/median/stddev/p95/best per-iteration durations over the
+//! batch samples. No outlier rejection, no HTML reports — just enough
+//! statistics to keep `cargo bench` useful offline.
 
 #![warn(missing_docs)]
 
@@ -73,6 +74,54 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Per-iteration statistics over the batch samples of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SampleStats {
+    mean: Duration,
+    median: Duration,
+    std_dev: Duration,
+    p95: Duration,
+    best: Duration,
+}
+
+/// Summarizes per-iteration sample durations: mean, median, sample
+/// standard deviation, 95th percentile (nearest-rank), and best.
+fn summarize_samples(samples: &[Duration]) -> SampleStats {
+    assert!(!samples.is_empty(), "no samples to summarize");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let nanos: Vec<f64> = sorted.iter().map(Duration::as_nanos_f64).collect();
+    let mean = nanos.iter().sum::<f64>() / nanos.len() as f64;
+    let variance = if nanos.len() < 2 {
+        0.0
+    } else {
+        nanos.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (nanos.len() - 1) as f64
+    };
+    let rank = |p: f64| {
+        let idx = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+        sorted[idx.clamp(1, sorted.len()) - 1]
+    };
+    SampleStats {
+        mean: Duration::from_nanos(mean.round() as u64),
+        median: rank(50.0),
+        std_dev: Duration::from_nanos(variance.sqrt().round() as u64),
+        p95: rank(95.0),
+        best: sorted[0],
+    }
+}
+
+/// `Duration::as_nanos` as f64 (the u128 → f64 cast is lossless at
+/// benchmark time scales).
+trait AsNanosF64 {
+    fn as_nanos_f64(&self) -> f64;
+}
+
+impl AsNanosF64 for Duration {
+    fn as_nanos_f64(&self) -> f64 {
+        self.as_nanos() as f64
+    }
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
     // Warm-up.
     let mut bencher = Bencher {
@@ -80,9 +129,8 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
         iters: 0,
     };
     f(&mut bencher);
-    let mut total = Duration::ZERO;
     let mut iters = 0u64;
-    let mut min = Duration::MAX;
+    let mut per_iter = Vec::with_capacity(samples.max(1));
     for _ in 0..samples.max(1) {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
@@ -90,18 +138,25 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
         };
         f(&mut b);
         if b.iters > 0 {
-            let per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
-            min = min.min(per_iter);
+            per_iter.push(b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX));
         }
-        total += b.elapsed;
         iters += b.iters;
     }
-    if iters == 0 {
+    if per_iter.is_empty() {
         println!("  {name}: no iterations recorded");
         return;
     }
-    let mean = total / u32::try_from(iters).unwrap_or(u32::MAX);
-    println!("  {name}: mean {mean:?}/iter, best {min:?}/iter ({iters} iters)");
+    let stats = summarize_samples(&per_iter);
+    println!(
+        "  {name}: mean {:?}/iter, median {:?}, stddev {:?}, p95 {:?}, best {:?} \
+         ({iters} iters, {} samples)",
+        stats.mean,
+        stats.median,
+        stats.std_dev,
+        stats.p95,
+        stats.best,
+        per_iter.len()
+    );
 }
 
 /// Times closures handed to it by a benchmark function.
@@ -140,4 +195,50 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_samples() {
+        let us = |n: u64| Duration::from_micros(n);
+        // 1..=20 µs: mean 10.5, median (nearest-rank p50) 10, p95 19.
+        let samples: Vec<Duration> = (1..=20).map(us).collect();
+        let stats = summarize_samples(&samples);
+        assert_eq!(stats.mean, Duration::from_nanos(10_500));
+        assert_eq!(stats.median, us(10));
+        assert_eq!(stats.p95, us(19));
+        assert_eq!(stats.best, us(1));
+        // Sample stddev of 1..=20 is √35 ≈ 5.916 µs.
+        let nanos = stats.std_dev.as_nanos() as f64;
+        assert!((nanos - 5_916.0).abs() < 1.0, "stddev {nanos} ns");
+    }
+
+    #[test]
+    fn stats_degenerate_cases() {
+        let one = [Duration::from_micros(7)];
+        let stats = summarize_samples(&one);
+        assert_eq!(stats.mean, one[0]);
+        assert_eq!(stats.median, one[0]);
+        assert_eq!(stats.p95, one[0]);
+        assert_eq!(stats.std_dev, Duration::ZERO);
+        // Order does not matter.
+        let us = |n: u64| Duration::from_micros(n);
+        let shuffled = [us(5), us(1), us(3)];
+        assert_eq!(summarize_samples(&shuffled).median, us(3));
+        assert_eq!(summarize_samples(&shuffled).best, us(1));
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| std::hint::black_box(2 + 2));
+        b.iter(|| std::hint::black_box(2 + 2));
+        assert_eq!(b.iters, 2);
+    }
 }

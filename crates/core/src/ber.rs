@@ -28,6 +28,13 @@ pub struct ChannelEval {
     pub n_symbols: usize,
 }
 
+/// The channel's effective symbol rate (symbols/s): one transaction
+/// slot per symbol, stretched by the calibrated receiver's
+/// repeat-and-vote count where one is in force.
+pub fn symbol_rate(channel: &IChannel) -> f64 {
+    1.0 / (channel.config().slot_period.as_secs() * channel.slots_per_symbol() as f64)
+}
+
 /// Draws `n` uniform random symbols.
 pub fn random_symbols(n: usize, seed: u64) -> Vec<Symbol> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -58,7 +65,7 @@ where
     for (s, r) in tx.sent.iter().zip(&tx.received) {
         confusion.record(s.value() as usize, r.value() as usize);
     }
-    let symbol_rate = 1.0 / channel.config().slot_period.as_secs();
+    let symbol_rate = symbol_rate(channel);
     ChannelEval {
         ber: confusion.bit_error_rate_2bit(),
         ser: confusion.symbol_error_rate(),
@@ -91,7 +98,7 @@ pub fn evaluate_batched(
         elapsed += tx.elapsed;
     }
     let n = batches * symbols_per_batch;
-    let symbol_rate = 1.0 / channel.config().slot_period.as_secs();
+    let symbol_rate = symbol_rate(channel);
     ChannelEval {
         ber: confusion.bit_error_rate_2bit(),
         ser: confusion.symbol_error_rate(),

@@ -13,6 +13,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use ichannels_pdn::loadline::LoadLine;
 use ichannels_soc::config::{PlatformSpec, SocConfig};
 use ichannels_soc::program::{Action, ProgCtx, Program};
 use ichannels_soc::sim::Soc;
@@ -62,6 +63,105 @@ impl std::fmt::Display for ChannelKind {
     }
 }
 
+/// Receiver demodulation tuning: how long the receiver integrates per
+/// measurement and how many repeated transactions vote on each symbol.
+///
+/// The paper's receiver calibrates per platform (§6): where the
+/// per-level separation is comfortably above the measurement-jitter
+/// floor a single fixed-window sample per transaction decodes
+/// error-free, but where a stiffer rail compresses the levels toward
+/// each other a real attacker integrates longer and repeats the
+/// transaction, trading symbol rate for reliability. The identity
+/// tuning ([`ReceiverCalibration::LEGACY`]) reproduces the fixed
+/// single-sample receiver bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverCalibration {
+    /// Multiplier on the receiver's measured-loop duration (the
+    /// integration window).
+    pub window_scale: f64,
+    /// Repeat-and-vote: transactions transmitted per symbol, decoded by
+    /// per-transaction nearest-mean votes. 1 disables voting.
+    pub votes: u32,
+}
+
+impl ReceiverCalibration {
+    /// The fixed single-sample receiver (pre-calibration behavior).
+    pub const LEGACY: ReceiverCalibration = ReceiverCalibration {
+        window_scale: 1.0,
+        votes: 1,
+    };
+
+    /// Compression factor above which the single-sample receiver is
+    /// kept: every client rail in the catalog sits at 1.0, the 0.9 mΩ
+    /// server rail at ≈0.56.
+    pub const COMPRESSION_FLOOR: f64 = 0.75;
+
+    /// True for the identity tuning — the execution path is then
+    /// bit-identical to the legacy fixed-window receiver.
+    pub fn is_legacy(self) -> bool {
+        self.votes <= 1 && self.window_scale == 1.0
+    }
+
+    /// Derives the tuning for a channel on a platform from its
+    /// load-line.
+    ///
+    /// Only the cross-core channel rides the shared package rail, so
+    /// only it sees the [`LoadLine::separation_compression`] of a stiff
+    /// server load-line; the same-thread and SMT channels observe the
+    /// throttling of their own core directly and keep the legacy
+    /// receiver everywhere.
+    pub fn for_channel(spec: &PlatformSpec, kind: ChannelKind) -> Self {
+        if kind != ChannelKind::Cores {
+            return Self::LEGACY;
+        }
+        let compression =
+            LoadLine::new(spec.rll_mohm).separation_compression(&LoadLine::client_reference());
+        Self::for_compression(compression)
+    }
+
+    /// Derives the tuning for a measured separation-compression factor:
+    /// identity at or above [`Self::COMPRESSION_FLOOR`], otherwise an
+    /// integration window stretched by the inverse compression and a
+    /// vote count growing as the levels close up.
+    pub fn for_compression(compression: f64) -> Self {
+        assert!(
+            compression.is_finite() && compression > 0.0,
+            "invalid separation compression: {compression}"
+        );
+        if compression >= Self::COMPRESSION_FLOOR {
+            return Self::LEGACY;
+        }
+        ReceiverCalibration {
+            window_scale: (1.0 / compression).clamp(1.0, 4.0),
+            votes: if compression >= 0.6 { 3 } else { 5 },
+        }
+    }
+}
+
+/// Which receiver a channel decodes with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReceiverMode {
+    /// Platform-calibrated adaptive receiver (the default):
+    /// [`ReceiverCalibration::for_channel`] derives the tuning from the
+    /// platform's load-line.
+    Calibrated,
+    /// The fixed single-sample receiver, kept for A/B comparison.
+    Legacy,
+    /// An explicit tuning override (receiver-calibration sweeps).
+    Fixed(ReceiverCalibration),
+}
+
+impl ReceiverMode {
+    /// Resolves the mode to a concrete tuning for a channel instance.
+    pub fn resolve(self, spec: &PlatformSpec, kind: ChannelKind) -> ReceiverCalibration {
+        match self {
+            ReceiverMode::Calibrated => ReceiverCalibration::for_channel(spec, kind),
+            ReceiverMode::Legacy => ReceiverCalibration::LEGACY,
+            ReceiverMode::Fixed(tuning) => tuning,
+        }
+    }
+}
+
 /// Configuration of a covert channel instance.
 #[derive(Debug, Clone)]
 pub struct ChannelConfig {
@@ -85,6 +185,8 @@ pub struct ChannelConfig {
     pub measurement_jitter: SimTime,
     /// RNG seed for the measurement jitter.
     pub jitter_seed: u64,
+    /// How the receiver demodulates (platform-calibrated by default).
+    pub receiver: ReceiverMode,
 }
 
 impl ChannelConfig {
@@ -100,6 +202,7 @@ impl ChannelConfig {
             cross_core_delay: SimTime::from_ns(150.0),
             measurement_jitter: SimTime::from_ns(150.0),
             jitter_seed: 0x05EE_D1CC,
+            receiver: ReceiverMode::Calibrated,
         }
     }
 
@@ -139,6 +242,50 @@ impl Calibration {
             let e = (d - m).abs();
             if e < best_err {
                 best_err = e;
+                best = i;
+            }
+        }
+        Symbol::new(best as u8)
+    }
+
+    /// The three decision thresholds between the four level means
+    /// (midpoints of the sorted means, TSC cycles) — the per-level
+    /// thresholds the training preamble learns. Nearest-mean decoding
+    /// is exactly thresholding against these.
+    pub fn thresholds(&self) -> [f64; 3] {
+        let mut sorted = self.means;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        [
+            (sorted[0] + sorted[1]) / 2.0,
+            (sorted[1] + sorted[2]) / 2.0,
+            (sorted[2] + sorted[3]) / 2.0,
+        ]
+    }
+
+    /// Decodes one symbol from repeated measurements of the same
+    /// transaction (repeat-and-vote): each duration votes for its
+    /// nearest mean, the plurality wins, and ties break toward the
+    /// smallest total distance. With a single duration this is exactly
+    /// [`Calibration::decode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations` is empty.
+    pub fn decode_vote(&self, durations: &[u64]) -> Symbol {
+        assert!(!durations.is_empty(), "vote needs at least one sample");
+        let mut counts = [0u32; 4];
+        let mut total_err = [0.0f64; 4];
+        for &d in durations {
+            counts[self.decode(d).value() as usize] += 1;
+            for (i, m) in self.means.iter().enumerate() {
+                total_err[i] += (d as f64 - m).abs();
+            }
+        }
+        let mut best = 0usize;
+        for i in 1..4 {
+            if counts[i] > counts[best]
+                || (counts[i] == counts[best] && total_err[i] < total_err[best])
+            {
                 best = i;
             }
         }
@@ -269,6 +416,17 @@ impl IChannel {
         &mut self.cfg
     }
 
+    /// The resolved receiver tuning of this channel instance.
+    pub fn tuning(&self) -> ReceiverCalibration {
+        self.cfg.receiver.resolve(&self.cfg.soc.platform, self.kind)
+    }
+
+    /// Transactions (slots) one payload symbol occupies: the resolved
+    /// repeat-and-vote count.
+    pub fn slots_per_symbol(&self) -> usize {
+        self.tuning().votes.max(1) as usize
+    }
+
     /// Runs the sender/receiver pair over `symbols` and returns the raw
     /// receiver durations (TSC cycles), one per transaction.
     pub fn run_symbols(&self, symbols: &[Symbol]) -> Vec<u64> {
@@ -292,7 +450,16 @@ impl IChannel {
             instructions_for_duration(Symbol::new(i as u8).sender_class(), freq, cfg.sender_loop)
         });
         let recv_class = self.kind.receiver_class();
-        let recv_insts = instructions_for_duration(recv_class, freq, cfg.receiver_loop);
+        // The calibrated integration window; the exact untouched
+        // duration when the tuning is the identity, so legacy-tuned
+        // platforms reproduce the fixed-window receiver bit for bit.
+        let tuning = self.tuning();
+        let recv_window = if tuning.window_scale == 1.0 {
+            cfg.receiver_loop
+        } else {
+            cfg.receiver_loop.scale(tuning.window_scale)
+        };
+        let recv_insts = instructions_for_duration(recv_class, freq, recv_window);
         let recorder = Recorder::new();
         let jitter = Rc::new(RefCell::new(JitterSource::new(
             cfg.jitter_seed,
@@ -395,6 +562,12 @@ impl IChannel {
 
     /// Like [`IChannel::transmit_symbols`], with a SoC setup hook for
     /// concurrent noise applications (§6.3).
+    ///
+    /// With a repeat-and-vote tuning (`votes > 1`) every payload symbol
+    /// is transmitted over that many consecutive transaction slots and
+    /// decoded by [`Calibration::decode_vote`]; `durations` then holds
+    /// one raw measurement per slot and `elapsed` reflects the
+    /// `votes`-fold slowdown a real attacker pays for the reliability.
     pub fn transmit_symbols_with<F>(
         &self,
         symbols: &[Symbol],
@@ -404,13 +577,29 @@ impl IChannel {
     where
         F: FnOnce(&mut Soc),
     {
-        let durations = self.run_symbols_with(symbols, setup);
-        let received: Vec<Symbol> = durations.iter().map(|&d| cal.decode(d)).collect();
+        let votes = self.slots_per_symbol();
+        let slots: Vec<Symbol> = if votes == 1 {
+            symbols.to_vec()
+        } else {
+            symbols
+                .iter()
+                .flat_map(|&s| std::iter::repeat_n(s, votes))
+                .collect()
+        };
+        let durations = self.run_symbols_with(&slots, setup);
+        let received: Vec<Symbol> = if votes == 1 {
+            durations.iter().map(|&d| cal.decode(d)).collect()
+        } else {
+            durations
+                .chunks(votes)
+                .map(|c| cal.decode_vote(c))
+                .collect()
+        };
         Transmission {
             sent: symbols.to_vec(),
             received,
             durations,
-            elapsed: self.cfg.slot_period.scale(symbols.len() as f64),
+            elapsed: self.cfg.slot_period.scale(slots.len() as f64),
         }
     }
 
@@ -708,6 +897,113 @@ mod tests {
             "separation = {}",
             cal.min_separation_cycles()
         );
+    }
+
+    #[test]
+    fn calibration_thresholds_are_midpoints() {
+        let cal = Calibration::from_means([4000.0, 3000.0, 2000.0, 1000.0]);
+        assert_eq!(cal.thresholds(), [1500.0, 2500.0, 3500.0]);
+        // Nearest-mean decoding is exactly thresholding.
+        assert_eq!(cal.decode(1499), Symbol::new(3));
+        assert_eq!(cal.decode(1501), Symbol::new(2));
+    }
+
+    #[test]
+    fn decode_vote_takes_plurality_and_breaks_ties_by_distance() {
+        let cal = Calibration::from_means([1000.0, 2000.0, 3000.0, 4000.0]);
+        // Plurality: two votes near level 0 beat one near level 2.
+        assert_eq!(cal.decode_vote(&[999, 1001, 2990]), Symbol::new(0));
+        // A 1–1 tie goes to the smaller total distance (level 2 here:
+        // 1998+1 against level 0's 2+1999).
+        assert_eq!(cal.decode_vote(&[1002, 2999]), Symbol::new(2));
+        // A single sample is exactly `decode`.
+        assert_eq!(cal.decode_vote(&[3100]), cal.decode(3100));
+    }
+
+    #[test]
+    fn calibrated_receiver_is_identity_on_client_rails() {
+        for spec in [
+            PlatformSpec::cannon_lake(),
+            PlatformSpec::coffee_lake(),
+            PlatformSpec::haswell(),
+        ] {
+            for kind in [ChannelKind::Thread, ChannelKind::Smt, ChannelKind::Cores] {
+                assert!(
+                    ReceiverCalibration::for_channel(&spec, kind).is_legacy(),
+                    "{} {kind} should keep the legacy receiver",
+                    spec.name
+                );
+            }
+        }
+        // Only the server's cross-core channel derives a real tuning.
+        let server = PlatformSpec::skylake_server();
+        for kind in [ChannelKind::Thread, ChannelKind::Smt] {
+            assert!(ReceiverCalibration::for_channel(&server, kind).is_legacy());
+        }
+        let tuned = ReceiverCalibration::for_channel(&server, ChannelKind::Cores);
+        assert!(!tuned.is_legacy());
+        assert!(tuned.votes >= 3, "votes = {}", tuned.votes);
+        assert!(tuned.window_scale > 1.0, "window = {}", tuned.window_scale);
+    }
+
+    #[test]
+    fn legacy_mode_reproduces_the_fixed_receiver_bit_for_bit() {
+        // On a client rail the calibrated mode resolves to the identity
+        // tuning, so the whole transmission is byte-identical to the
+        // explicit legacy mode.
+        let mut cfg = ChannelConfig::default_cannon_lake();
+        cfg.soc = SocConfig::pinned(PlatformSpec::coffee_lake(), Freq::from_ghz(2.0));
+        let mut legacy_cfg = cfg.clone();
+        legacy_cfg.receiver = ReceiverMode::Legacy;
+        let calibrated = IChannel::new(ChannelKind::Cores, cfg);
+        let legacy = IChannel::new(ChannelKind::Cores, legacy_cfg);
+        assert!(calibrated.tuning().is_legacy());
+        let msg = [Symbol::new(1), Symbol::new(3), Symbol::new(0)];
+        let (ca, cb) = (calibrated.calibrate(2), legacy.calibrate(2));
+        assert_eq!(ca, cb);
+        let (ta, tb) = (
+            calibrated.transmit_symbols(&msg, &ca),
+            legacy.transmit_symbols(&msg, &cb),
+        );
+        assert_eq!(ta.durations, tb.durations);
+        assert_eq!(ta.received, tb.received);
+        assert_eq!(ta.elapsed, tb.elapsed);
+    }
+
+    #[test]
+    fn server_cross_core_votes_stretch_the_transmission() {
+        let mut cfg = ChannelConfig::default_cannon_lake();
+        cfg.soc = SocConfig::pinned(PlatformSpec::skylake_server(), Freq::from_ghz(2.0));
+        let ch = IChannel::new(ChannelKind::Cores, cfg);
+        let tuning = ch.tuning();
+        assert!(!tuning.is_legacy());
+        let votes = tuning.votes as usize;
+        assert_eq!(ch.slots_per_symbol(), votes);
+        let cal = ch.calibrate(2);
+        let msg = [Symbol::new(0), Symbol::new(3), Symbol::new(2)];
+        let tx = ch.transmit_symbols(&msg, &cal);
+        assert_eq!(tx.received, msg, "voted decode should be clean");
+        assert_eq!(tx.durations.len(), msg.len() * votes);
+        assert_eq!(
+            tx.elapsed,
+            ch.config().slot_period.scale((msg.len() * votes) as f64),
+            "elapsed must charge every voting slot"
+        );
+        // The throughput honestly pays the votes-fold slowdown.
+        assert!(tx.throughput_bps() < 2_900.0 / (votes as f64 - 0.5));
+    }
+
+    #[test]
+    fn receiver_calibration_derivation_tracks_compression() {
+        assert!(ReceiverCalibration::for_compression(1.0).is_legacy());
+        assert!(ReceiverCalibration::for_compression(0.8).is_legacy());
+        let moderate = ReceiverCalibration::for_compression(0.7);
+        assert_eq!(moderate.votes, 3);
+        let strong = ReceiverCalibration::for_compression(0.5625);
+        assert_eq!(strong.votes, 5);
+        assert!(strong.window_scale > moderate.window_scale);
+        // The window stretch is capped.
+        assert_eq!(ReceiverCalibration::for_compression(0.1).window_scale, 4.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::report::{
     rows_to_csv, summaries_to_csv, summarize_cells, summarize_rows, CellSummary, TrialRecord,
     TrialRow,
 };
-use crate::scenario::{AlphabetSpec, ChannelSelect, NoiseSpec, PlatformId, Scenario};
+use crate::scenario::{AlphabetSpec, ChannelSelect, NoiseSpec, PlatformId, ReceiverSpec, Scenario};
 use crate::shard::{merge_streams, MergeError, ShardSpec, ShardStream};
 
 /// A completed campaign: raw trials plus per-cell aggregates.
@@ -113,17 +113,63 @@ pub struct CampaignRun {
     pub paths: Vec<PathBuf>,
 }
 
-/// Loads the trial rows of a (possibly partial) campaign JSONL, keyed
-/// for resume. Header lines, truncated trailing lines, and any other
+/// Rejects a resume against a stream this run must not trust: the
+/// JSONL shard header ties a sharded stream to its campaign, its
+/// `I/N` spec, and its scenario total, and resuming across a partition
+/// mismatch would silently re-seed another shard's slice. A missing,
+/// empty, or torn-at-the-first-line stream is fine — there is simply
+/// nothing to resume.
+fn validate_resume_stream(
+    text: &str,
+    path: &Path,
+    name: &str,
+    shard: ShardSpec,
+    total: usize,
+) -> io::Result<()> {
+    let Some(first) = text.lines().next() else {
+        return Ok(());
+    };
+    let reject = |message: String| {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("refusing to resume {}: {message}", path.display()),
+        ))
+    };
+    match crate::shard::parse_header_line(first) {
+        Some((campaign, spec, recorded)) => {
+            if shard.is_full() {
+                return reject(format!(
+                    "stream was written by shard {spec} of campaign {campaign:?} but this \
+                     run is unsharded — rerun with --shard {spec}, merge the shards, or \
+                     delete the stream"
+                ));
+            }
+            if campaign != name || spec != shard || recorded != total {
+                return reject(format!(
+                    "stream header records campaign {campaign:?} shard {spec} over \
+                     {recorded} scenario(s); this run is campaign {name:?} shard {shard} \
+                     over {total} — rerun with the original spec or delete the stream"
+                ));
+            }
+            Ok(())
+        }
+        None if !shard.is_full() && TrialRow::parse(first).is_ok() => reject(format!(
+            "stream has no shard header (written by an unsharded run?) but this run is \
+             shard {shard} — resume without --shard or delete the stream"
+        )),
+        None => Ok(()),
+    }
+}
+
+/// Keys the trial rows of a (possibly partial) campaign JSONL for
+/// resume. Header lines, truncated trailing lines, and any other
 /// unparseable content are skipped rather than failing — an
 /// interrupted run left them behind.
-fn completed_rows(path: &Path) -> HashMap<String, TrialRow> {
+fn completed_rows(text: &str) -> HashMap<String, TrialRow> {
     let mut completed = HashMap::new();
-    if let Ok(text) = fs::read_to_string(path) {
-        for line in text.lines() {
-            if let Ok(row) = TrialRow::parse(line) {
-                completed.insert(row.trial_key(), row);
-            }
+    for line in text.lines() {
+        if let Ok(row) = TrialRow::parse(line) {
+            completed.insert(row.trial_key(), row);
         }
     }
     completed
@@ -143,7 +189,11 @@ fn completed_rows(path: &Path) -> HashMap<String, TrialRow> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the stream writes.
+/// Propagates I/O errors from the stream writes, and rejects
+/// `config.resume` with `InvalidData` when the existing stream's shard
+/// header does not match this run's campaign, `--shard I/N` spec, and
+/// scenario total (resuming across a partition mismatch would silently
+/// re-seed another shard's slice).
 pub fn run_to_dir(
     name: &str,
     grid: &Grid,
@@ -159,7 +209,11 @@ pub fn run_to_dir(
     let jsonl_path = dir.join(format!("{stem}_trials.jsonl"));
 
     let completed = if config.resume {
-        completed_rows(&jsonl_path)
+        // One read serves both the header check and the row reload; a
+        // missing stream simply means there is nothing to resume.
+        let text = fs::read_to_string(&jsonl_path).unwrap_or_default();
+        validate_resume_stream(&text, &jsonl_path, name, config.shard, total)?;
+        completed_rows(&text)
     } else {
         HashMap::new()
     };
@@ -436,6 +490,39 @@ pub fn modulation_capacity(quick: bool) -> Grid {
         .base_seed(0x0A1F_ABE7)
 }
 
+/// Receiver-calibration sweep: the cross-core channel decoded by the
+/// legacy fixed-window receiver, the platform-calibrated adaptive
+/// receiver, and an explicit window×votes grid, on the client parts
+/// against the §6.4 server extrapolation. Documents the fix for the
+/// ROADMAP outlier: the 0.9 mΩ server load-line compresses cross-core
+/// separation into the jitter floor, a single fixed-window sample
+/// decodes at BER ≈ 0.19, and repeat-and-vote brings the cell below
+/// 0.05 while every client cell is already clean at one sample (and
+/// stays bit-identical under the calibrated default).
+pub fn receiver_calibration(quick: bool) -> Grid {
+    let mut receivers = vec![ReceiverSpec::Legacy, ReceiverSpec::Calibrated];
+    for window_scale in [1.0, 2.0] {
+        for votes in [3, 5] {
+            receivers.push(ReceiverSpec::Fixed {
+                window_scale,
+                votes,
+            });
+        }
+    }
+    Grid::new()
+        .platforms(vec![
+            PlatformId::CannonLake,
+            PlatformId::CoffeeLake,
+            PlatformId::SkylakeServer,
+        ])
+        .kinds(&[ChannelKind::Cores])
+        .receivers(receivers)
+        .payload_symbols(if quick { 24 } else { 60 })
+        .calib_reps(if quick { 2 } else { 3 })
+        .trials(if quick { 1 } else { 3 })
+        .base_seed(0x00AD_A003)
+}
+
 /// Every named campaign, for CLI dispatch: `(name, grid builder)`.
 pub fn catalog(quick: bool) -> Vec<(&'static str, Grid)> {
     vec![
@@ -443,6 +530,7 @@ pub fn catalog(quick: bool) -> Vec<(&'static str, Grid)> {
         ("noise_robustness", noise_robustness(quick)),
         ("mitigation_coverage", mitigation_coverage(quick)),
         ("modulation_capacity", modulation_capacity(quick)),
+        ("receiver_calibration", receiver_calibration(quick)),
     ]
 }
 
@@ -467,11 +555,11 @@ mod tests {
     #[test]
     fn catalog_names_are_unique() {
         let cat = catalog(true);
-        assert_eq!(cat.len(), 4);
+        assert_eq!(cat.len(), 5);
         let mut names: Vec<&str> = cat.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
     }
 
     #[test]
@@ -486,6 +574,8 @@ mod tests {
         assert_eq!(mitigation_coverage(true).scenarios().len(), 15);
         // modulation_capacity: 2 platforms × 2 kinds × 3 alphabets.
         assert_eq!(modulation_capacity(true).scenarios().len(), 12);
+        // receiver_calibration: 3 platforms × 6 receivers × 1 kind.
+        assert_eq!(receiver_calibration(true).scenarios().len(), 18);
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {

@@ -11,7 +11,7 @@ use ichannels::channel::ChannelKind;
 use ichannels::mitigations::Mitigation;
 
 use crate::scenario::{
-    mix, AppSpec, ChannelSelect, Knob, NoiseSpec, PayloadSpec, PlatformId, Scenario,
+    mix, AppSpec, ChannelSelect, Knob, NoiseSpec, PayloadSpec, PlatformId, ReceiverSpec, Scenario,
 };
 
 /// FNV-1a over a string, for stable per-cell seed derivation.
@@ -51,6 +51,7 @@ pub struct Grid {
     mitigation_sets: Vec<Vec<Mitigation>>,
     apps: Vec<Option<AppSpec>>,
     knobs: Vec<Option<Knob>>,
+    receivers: Vec<ReceiverSpec>,
     payloads: Vec<PayloadSpec>,
     payload_symbols: usize,
     calib_reps: usize,
@@ -76,6 +77,7 @@ impl Grid {
             mitigation_sets: vec![vec![]],
             apps: vec![None],
             knobs: vec![None],
+            receivers: vec![ReceiverSpec::Calibrated],
             payloads: vec![PayloadSpec::Random],
             payload_symbols: 24,
             calib_reps: 2,
@@ -131,6 +133,14 @@ impl Grid {
     pub fn knobs(mut self, knobs: Vec<Option<Knob>>) -> Self {
         assert!(!knobs.is_empty(), "knob axis must not be empty");
         self.knobs = knobs;
+        self
+    }
+
+    /// Sets the receiver axis ([`ReceiverSpec::Calibrated`] entries run
+    /// the default platform-calibrated receiver).
+    pub fn receivers(mut self, receivers: Vec<ReceiverSpec>) -> Self {
+        assert!(!receivers.is_empty(), "receiver axis must not be empty");
+        self.receivers = receivers;
         self
     }
 
@@ -196,14 +206,15 @@ impl Grid {
             * self.mitigation_sets.len()
             * self.apps.len()
             * self.knobs.len()
+            * self.receivers.len()
             * self.payloads.len()
             * self.trials as usize
     }
 
     /// Enumerates the runnable scenarios in deterministic axis order
     /// (platform → freq → channel → noise → mitigations → app → knob →
-    /// payload → trial), dropping combinations the platform cannot
-    /// host.
+    /// receiver → payload → trial), dropping combinations the platform
+    /// cannot host.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.cardinality());
         for &platform in &self.platforms {
@@ -213,30 +224,33 @@ impl Grid {
                         for mitigations in &self.mitigation_sets {
                             for &app in &self.apps {
                                 for &knob in &self.knobs {
-                                    for &payload in &self.payloads {
-                                        for trial in 0..self.trials {
-                                            let mut s = Scenario {
-                                                platform,
-                                                channel,
-                                                noise,
-                                                mitigations: mitigations.clone(),
-                                                app,
-                                                knob,
-                                                payload,
-                                                payload_symbols: self.payload_symbols,
-                                                calib_reps: self.calib_reps,
-                                                freq_ghz,
-                                                trial,
-                                                seed: 0,
-                                            };
-                                            if !s.supported() {
-                                                continue;
+                                    for &receiver in &self.receivers {
+                                        for &payload in &self.payloads {
+                                            for trial in 0..self.trials {
+                                                let mut s = Scenario {
+                                                    platform,
+                                                    channel,
+                                                    noise,
+                                                    mitigations: mitigations.clone(),
+                                                    app,
+                                                    knob,
+                                                    receiver,
+                                                    payload,
+                                                    payload_symbols: self.payload_symbols,
+                                                    calib_reps: self.calib_reps,
+                                                    freq_ghz,
+                                                    trial,
+                                                    seed: 0,
+                                                };
+                                                if !s.supported() {
+                                                    continue;
+                                                }
+                                                s.seed = mix(
+                                                    self.base_seed ^ fnv1a(&s.cell_key()),
+                                                    u64::from(trial),
+                                                );
+                                                out.push(s);
                                             }
-                                            s.seed = mix(
-                                                self.base_seed ^ fnv1a(&s.cell_key()),
-                                                u64::from(trial),
-                                            );
-                                            out.push(s);
                                         }
                                     }
                                 }

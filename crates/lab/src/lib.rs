@@ -21,8 +21,8 @@
 //! * [`trace`] — [`trace::TraceSpec`]: the characterization timelines
 //!   (Figures 6, 7(b), 9) as declarative specs run on the same pool;
 //! * [`campaigns`] — ready-made campaigns: client-vs-server,
-//!   noise-robustness, mitigation-coverage, and modulation-capacity
-//!   sweeps.
+//!   noise-robustness, mitigation-coverage, modulation-capacity, and
+//!   receiver-calibration sweeps.
 //!
 //! Beyond channel trials, a [`Scenario`] can describe a direct
 //! micro-architectural measurement (a [`scenario::ProbeKind`]: TP
@@ -74,7 +74,7 @@ pub use grid::Grid;
 pub use report::{CellSummary, TrialMetrics, TrialRecord, TrialRow};
 pub use scenario::{
     AlphabetSpec, AppKind, AppSpec, BaselineKind, ChannelSelect, IdqCondition, Knob, NoiseSpec,
-    PayloadSpec, PlatformId, ProbeKind, Scenario,
+    PayloadSpec, PlatformId, ProbeKind, ReceiverSpec, Scenario,
 };
 pub use shard::{MergeError, ShardSpec, ShardStream};
 pub use trace::{TraceProgram, TraceRun, TraceSpec};

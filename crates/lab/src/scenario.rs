@@ -13,7 +13,7 @@ use ichannels::baselines::netspectre::NetSpectreChannel;
 use ichannels::baselines::powert::PowerTChannel;
 use ichannels::baselines::turbocc::TurboCcChannel;
 use ichannels::ber::random_symbols;
-use ichannels::channel::{ChannelConfig, ChannelKind, IChannel};
+use ichannels::channel::{ChannelConfig, ChannelKind, IChannel, ReceiverCalibration, ReceiverMode};
 use ichannels::extended::{LevelAlphabet, MultiLevelChannel};
 use ichannels::mitigations::Mitigation;
 use ichannels::symbols::Symbol;
@@ -308,6 +308,68 @@ impl Knob {
     }
 }
 
+/// The receiver a trial decodes with — the `receiver` Grid axis.
+///
+/// The default ([`ReceiverSpec::Calibrated`]) is the platform-
+/// calibrated adaptive receiver and adds **no** cell-key segment, so
+/// campaigns that do not sweep the receiver keep their PR-1/2 cell
+/// keys and seeds; off-default receivers append an `rx-…` segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReceiverSpec {
+    /// Platform-calibrated adaptive receiver
+    /// ([`ReceiverCalibration::for_channel`] — identity tuning on every
+    /// client rail, windowed repeat-and-vote on the compressed server
+    /// rail).
+    Calibrated,
+    /// The fixed single-sample receiver (pre-calibration behavior, the
+    /// A/B baseline).
+    Legacy,
+    /// An explicit window×votes override (receiver-calibration sweeps).
+    Fixed {
+        /// Integration-window multiplier.
+        window_scale: f64,
+        /// Repeat-and-vote transactions per symbol.
+        votes: u32,
+    },
+}
+
+impl ReceiverSpec {
+    /// True for the default axis value (no cell-key segment).
+    pub const fn is_default(self) -> bool {
+        matches!(self, ReceiverSpec::Calibrated)
+    }
+
+    /// Label used in cell keys (off-default values only — cell keys
+    /// never include the `Calibrated` arm's `rx-cal`, which exists for
+    /// display purposes; the default receiver adds no key segment by
+    /// the seed-stability rule).
+    pub fn label(self) -> String {
+        match self {
+            ReceiverSpec::Calibrated => "rx-cal".to_string(),
+            ReceiverSpec::Legacy => "rx-legacy".to_string(),
+            ReceiverSpec::Fixed {
+                window_scale,
+                votes,
+            } => format!("rx-w{window_scale}v{votes}"),
+        }
+    }
+
+    /// The core-channel receiver mode this axis value selects.
+    pub fn mode(self) -> ReceiverMode {
+        match self {
+            ReceiverSpec::Calibrated => ReceiverMode::Calibrated,
+            ReceiverSpec::Legacy => ReceiverMode::Legacy,
+            ReceiverSpec::Fixed {
+                window_scale,
+                votes,
+            } => ReceiverMode::Fixed(ReceiverCalibration {
+                window_scale,
+                votes,
+            }),
+        }
+    }
+}
+
 /// Which channel a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelSelect {
@@ -465,6 +527,8 @@ pub struct Scenario {
     pub app: Option<AppSpec>,
     /// Optional design-parameter override (the ablation axis).
     pub knob: Option<Knob>,
+    /// Receiver selection (platform-calibrated by default).
+    pub receiver: ReceiverSpec,
     /// Symbol stream shape.
     pub payload: PayloadSpec,
     /// Number of payload symbols per trial.
@@ -489,13 +553,23 @@ impl Scenario {
     /// applied to the measurement.
     pub fn supported(&self) -> bool {
         let kind = match self.channel {
-            ChannelSelect::Icc(kind) | ChannelSelect::MultiLevel(kind, _) => kind,
+            ChannelSelect::Icc(kind) => kind,
+            // The multi-level channel decodes its own wider alphabet
+            // and has no adaptive receiver: a non-default receiver
+            // label would never apply to the measurement.
+            ChannelSelect::MultiLevel(kind, _) => {
+                if !self.receiver.is_default() {
+                    return false;
+                }
+                kind
+            }
             ChannelSelect::Baseline(_) => {
                 return self.platform == PlatformId::CannonLake
                     && self.noise == NoiseSpec::Quiet
                     && self.mitigations.is_empty()
                     && self.app.is_none()
                     && self.knob.is_none()
+                    && self.receiver.is_default()
                     && self.payload == PayloadSpec::Random
                     && self.trial == 0;
             }
@@ -518,6 +592,7 @@ impl Scenario {
             || self.knob.is_some()
             || self.payload != PayloadSpec::Random
             || !self.mitigations.is_empty()
+            || !self.receiver.is_default()
         {
             return false;
         }
@@ -572,6 +647,10 @@ impl Scenario {
             key.push('/');
             key.push_str(&knob.label());
         }
+        if !self.receiver.is_default() {
+            key.push('/');
+            key.push_str(&self.receiver.label());
+        }
         key
     }
 
@@ -595,6 +674,7 @@ impl Scenario {
         if let Some(knob) = self.knob {
             knob.apply(&mut cfg);
         }
+        cfg.receiver = self.receiver.mode();
         cfg.jitter_seed = mix(self.seed, 1);
         cfg.soc.seed = mix(self.seed, 2);
         cfg
@@ -657,11 +737,11 @@ impl Scenario {
         let symbols = self.payload_symbols_vec();
         let app = self.app;
         let placement = app.map(|_| self.app_placement(kind, &channel.config().soc.platform));
-        let deadline = channel.config().start_offset
-            + channel
-                .config()
-                .slot_period
-                .scale((symbols.len() + 2) as f64);
+        // Repeat-and-vote receivers occupy `votes` slots per symbol, so
+        // interfering apps must run for the full stretched transmission.
+        let slots = symbols.len() * channel.slots_per_symbol();
+        let deadline =
+            channel.config().start_offset + channel.config().slot_period.scale((slots + 2) as f64);
         let app_seed = mix(self.seed, 4);
         let tx = channel.transmit_symbols_with(&symbols, &cal, |soc: &mut Soc| {
             if let (Some(app), Some((core, smt))) = (app, placement) {
@@ -688,7 +768,7 @@ impl Scenario {
         for (s, r) in tx.sent.iter().zip(&tx.received) {
             confusion.record(s.value() as usize, r.value() as usize);
         }
-        let symbol_rate = 1.0 / channel.config().slot_period.as_secs();
+        let symbol_rate = ichannels::ber::symbol_rate(&channel);
         let mi = confusion.mutual_information_bits_corrected();
         TrialMetrics {
             ber: confusion.bit_error_rate_2bit(),
@@ -948,6 +1028,7 @@ mod tests {
             mitigations: vec![],
             app: None,
             knob: None,
+            receiver: ReceiverSpec::Calibrated,
             payload: PayloadSpec::Random,
             payload_symbols: 8,
             calib_reps: 2,
@@ -1022,6 +1103,77 @@ mod tests {
             "{}",
             knobbed.cell_key()
         );
+        // The default (calibrated) receiver adds no segment either; the
+        // off-default receivers do.
+        assert!(!s.cell_key().contains("/rx-"), "{}", s.cell_key());
+        let mut legacy = s.clone();
+        legacy.receiver = ReceiverSpec::Legacy;
+        assert!(
+            legacy.cell_key().ends_with("/rx-legacy"),
+            "{}",
+            legacy.cell_key()
+        );
+        let mut fixed = s.clone();
+        fixed.receiver = ReceiverSpec::Fixed {
+            window_scale: 2.0,
+            votes: 5,
+        };
+        assert!(
+            fixed.cell_key().ends_with("/rx-w2v5"),
+            "{}",
+            fixed.cell_key()
+        );
+    }
+
+    #[test]
+    fn off_default_receivers_only_apply_to_icc_channels() {
+        let legacy = ReceiverSpec::Legacy;
+        // IChannel scenarios accept any receiver.
+        let mut s = base_scenario();
+        s.receiver = legacy;
+        assert!(s.supported());
+        // Probes, baselines, and the multi-level channel decode outside
+        // the adaptive receiver: a non-default label would be false.
+        let mut probe = base_scenario();
+        probe.channel = ChannelSelect::Probe(ProbeKind::Tp {
+            class: InstClass::Heavy256,
+            cores: 1,
+        });
+        assert!(probe.supported());
+        probe.receiver = legacy;
+        assert!(!probe.supported());
+        let mut baseline = base_scenario();
+        baseline.channel = ChannelSelect::Baseline(crate::scenario::BaselineKind::NetSpectre);
+        assert!(baseline.supported());
+        baseline.receiver = legacy;
+        assert!(!baseline.supported());
+        let mut multi = base_scenario();
+        multi.channel = ChannelSelect::MultiLevel(ChannelKind::Thread, AlphabetSpec::Phi6);
+        assert!(multi.supported());
+        multi.receiver = legacy;
+        assert!(!multi.supported());
+    }
+
+    #[test]
+    fn receiver_spec_maps_onto_core_modes() {
+        use ichannels::channel::ReceiverMode;
+        assert_eq!(ReceiverSpec::Calibrated.mode(), ReceiverMode::Calibrated);
+        assert_eq!(ReceiverSpec::Legacy.mode(), ReceiverMode::Legacy);
+        let fixed = ReceiverSpec::Fixed {
+            window_scale: 2.0,
+            votes: 3,
+        };
+        assert_eq!(
+            fixed.mode(),
+            ReceiverMode::Fixed(ReceiverCalibration {
+                window_scale: 2.0,
+                votes: 3
+            })
+        );
+        // The scenario's channel config carries the selection.
+        let mut s = base_scenario();
+        s.receiver = fixed;
+        assert_eq!(s.channel_config().receiver, fixed.mode());
     }
 
     #[test]

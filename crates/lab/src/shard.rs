@@ -165,6 +165,22 @@ impl fmt::Display for ShardSpec {
     }
 }
 
+/// Parses one line as a shard header, if it is one: returns
+/// `(campaign, spec, total)`. Trial rows, torn lines, and anything
+/// else that is not a well-formed header return `None` — resume uses
+/// this to recognize (and then verify) the stream it is about to
+/// trust.
+pub fn parse_header_line(line: &str) -> Option<(String, ShardSpec, usize)> {
+    let fields = parse_jsonl_line(line).ok()?;
+    let campaign = field(&fields, "shard_campaign")
+        .and_then(JsonValue::as_str)?
+        .to_string();
+    let uint = |key: &str| field(&fields, key).and_then(JsonValue::as_u64);
+    let spec = ShardSpec::new(uint("shard_index")? as usize, uint("shard_count")? as usize).ok()?;
+    let total = uint("shard_total")? as usize;
+    Some((campaign, spec, total))
+}
+
 /// One reloaded shard output: the header plus its trial rows in shard
 /// order.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,6 +214,10 @@ pub enum MergeError {
     },
     /// No input streams were given.
     NoStreams,
+    /// A single shard-of-one stream was given: it already is the
+    /// complete campaign, so "merging" it would only lose the header's
+    /// provenance — copy the file or rerun unsharded instead.
+    SingleStream(String),
     /// Streams disagree on campaign name, shard count, or total.
     InconsistentHeaders(String),
     /// The same shard index appears twice.
@@ -231,6 +251,11 @@ impl fmt::Display for MergeError {
                 message,
             } => write!(f, "{source}:{line}: {message}"),
             MergeError::NoStreams => write!(f, "no shard streams to merge"),
+            MergeError::SingleStream(campaign) => write!(
+                f,
+                "campaign {campaign:?}: a single 1/1 stream is already the complete \
+                 campaign; copy it (or rerun unsharded) instead of merging"
+            ),
             MergeError::InconsistentHeaders(m) => write!(f, "inconsistent shard headers: {m}"),
             MergeError::DuplicateShard(i) => write!(f, "shard {i} appears more than once"),
             MergeError::MissingShard(i) => write!(f, "shard {i} is missing"),
@@ -318,13 +343,19 @@ impl ShardStream {
 /// # Errors
 ///
 /// Returns [`MergeError`] when the streams are not exactly the N
-/// shards of one campaign run: mixed campaigns or shard counts,
-/// duplicate or missing shard indices, shard lengths inconsistent with
-/// the recorded scenario total (missing cells), or duplicated trial
-/// keys.
+/// shards of one campaign run: no streams at all, a lone shard-of-one
+/// (already complete — nothing to merge), mixed campaigns or shard
+/// counts, duplicate or missing shard indices, shard lengths
+/// inconsistent with the recorded scenario total (missing cells), or
+/// duplicated trial keys.
 pub fn merge_streams(streams: Vec<ShardStream>) -> Result<(String, Vec<TrialRow>), MergeError> {
     let first = streams.first().ok_or(MergeError::NoStreams)?;
     let (campaign, count, total) = (first.campaign.clone(), first.spec.count(), first.total);
+    if streams.len() == 1 && count == 1 {
+        // Without this, a lone 1/1 stream would "merge" into a mere
+        // copy and silently bless whatever partial content it holds.
+        return Err(MergeError::SingleStream(campaign));
+    }
     if count != streams.len() {
         return Err(MergeError::InconsistentHeaders(format!(
             "headers declare {count} shard(s) but {} stream(s) were given",
@@ -494,6 +525,13 @@ mod tests {
             ShardStream::parse("mem", &sharded_text(&rows, spec, total)).expect("parses")
         };
         assert_eq!(merge_streams(vec![]), Err(MergeError::NoStreams));
+        // A lone 1/1 stream is already complete: merging it must fail
+        // loudly rather than writing a blessed-looking copy.
+        let full = ShardSpec::full();
+        let lone = ShardStream::parse("mem", &sharded_text(&rows, full, total)).expect("parses");
+        let err = merge_streams(vec![lone]).expect_err("single 1/1 stream");
+        assert_eq!(err, MergeError::SingleStream("demo".to_string()));
+        assert!(err.to_string().contains("already the complete"), "{err}");
         // Wrong stream count.
         assert!(matches!(
             merge_streams(vec![stream(0), stream(1)]),

@@ -56,6 +56,36 @@ impl LoadLine {
     pub fn guardband_for_mv(&self, vccmin_mv: f64, icc_a: f64) -> f64 {
         vccmin_mv + self.drop_mv(icc_a)
     }
+
+    /// The weakest client load-line of the paper's platform catalog
+    /// (Coffee Lake's 1.6 mΩ) — the reference rail against which
+    /// cross-core separation compression is measured.
+    pub const CLIENT_REFERENCE_RLL_MOHM: f64 = 1.6;
+
+    /// The reference client load-line (see
+    /// [`LoadLine::CLIENT_REFERENCE_RLL_MOHM`]).
+    pub fn client_reference() -> Self {
+        LoadLine::new(Self::CLIENT_REFERENCE_RLL_MOHM)
+    }
+
+    /// Cross-core separation-compression factor of this rail versus a
+    /// reference rail.
+    ///
+    /// A remote core's PHI reaches the receiver only through the shared
+    /// rail's IR drop, `RLL · ΔIcc`, so the receiver-visible voltage
+    /// separation between adjacent sender levels scales linearly with
+    /// `RLL`. A stiffer (lower-impedance) rail therefore *compresses*
+    /// the cross-core level separation by `RLL / RLL_ref`, clamped to
+    /// 1.0 — a softer rail widens separation rather than compressing
+    /// it. This is the factor the adaptive receiver calibrates against:
+    /// 0.56 for the 0.9 mΩ Skylake-SP rail vs the 1.6 mΩ client
+    /// reference, 1.0 for every client part.
+    pub fn separation_compression(&self, reference: &LoadLine) -> f64 {
+        if reference.rll_mohm <= 0.0 {
+            return 1.0;
+        }
+        (self.rll_mohm / reference.rll_mohm).min(1.0)
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +117,19 @@ mod tests {
     #[should_panic(expected = "invalid load-line impedance")]
     fn negative_impedance_panics() {
         let _ = LoadLine::new(-1.0);
+    }
+
+    #[test]
+    fn separation_compression_is_clamped_and_linear() {
+        let reference = LoadLine::client_reference();
+        // The server rail compresses cross-core separation by RLL ratio.
+        let server = LoadLine::new(0.9);
+        assert!((server.separation_compression(&reference) - 0.9 / 1.6).abs() < 1e-12);
+        // Client rails at or above the reference do not compress.
+        assert_eq!(reference.separation_compression(&reference), 1.0);
+        assert_eq!(LoadLine::new(1.9).separation_compression(&reference), 1.0);
+        // A zero-impedance reference cannot define compression.
+        assert_eq!(server.separation_compression(&LoadLine::new(0.0)), 1.0);
     }
 
     proptest! {

@@ -57,6 +57,8 @@ const GOLDEN_FILES: &[&str] = &[
     "mitigation_coverage_cells.csv",
     "modulation_capacity_trials.csv",
     "modulation_capacity_cells.csv",
+    "receiver_calibration_trials.csv",
+    "receiver_calibration_cells.csv",
 ];
 
 fn golden_path(name: &str) -> PathBuf {

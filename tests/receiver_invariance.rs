@@ -1,0 +1,93 @@
+//! Catalog-wide invariant of the platform-calibrated receiver: since
+//! every client rail resolves to the identity tuning, enabling the
+//! calibrated receiver (the engine default) changes **only**
+//! `skylake_server` cells. For every default-receiver scenario in the
+//! catalog we re-run the identical scenario (same cell key, same seed)
+//! under the legacy fixed-window receiver and demand byte-identical
+//! trial JSONL on the client platforms — the exact guarantee that let
+//! the PR-4 re-bless touch only server-affected goldens.
+
+use ichannels_repro::ichannels_lab::report::TrialRow;
+use ichannels_repro::ichannels_lab::scenario::{ChannelSelect, PlatformId, ReceiverSpec};
+use ichannels_repro::ichannels_lab::{campaigns, Executor, Scenario};
+
+/// Renders one record's JSONL line with the `rx-legacy` cell-key
+/// segment stripped, so legacy-twin rows are comparable byte-for-byte
+/// with their calibrated originals.
+fn normalized_line(record: &ichannels_repro::ichannels_lab::TrialRecord) -> String {
+    TrialRow::from_record(record)
+        .jsonl_row()
+        .to_json()
+        .replace("/rx-legacy", "")
+}
+
+#[test]
+fn calibrated_receiver_changes_only_skylake_server_cells() {
+    let mut server_diffs = Vec::new();
+    let mut compared = 0usize;
+    for (name, grid) in campaigns::catalog(true) {
+        // Only default-receiver IChannel cells A/B the calibrated
+        // receiver: explicit receiver cells (the receiver_calibration
+        // sweep) pin their tuning on both arms, and probe/baseline/
+        // multi-level cells never consult the receiver (their legacy
+        // twins are unsupported by the same honesty rule).
+        let calibrated: Vec<Scenario> = grid
+            .scenarios()
+            .into_iter()
+            .filter(|s| {
+                s.receiver == ReceiverSpec::Calibrated && matches!(s.channel, ChannelSelect::Icc(_))
+            })
+            .collect();
+        if calibrated.is_empty() {
+            // modulation_capacity is all multi-level cells.
+            continue;
+        }
+        let legacy: Vec<Scenario> = calibrated
+            .iter()
+            .map(|s| {
+                let mut twin = s.clone();
+                // Same seed, same cell — only the demodulator differs.
+                twin.receiver = ReceiverSpec::Legacy;
+                twin
+            })
+            .collect();
+        let a = Executor::new(4).run(&calibrated);
+        let b = Executor::new(4).run(&legacy);
+        compared += a.len();
+        for (ra, rb) in a.iter().zip(&b) {
+            let (la, lb) = (normalized_line(ra), normalized_line(rb));
+            if ra.scenario.platform == PlatformId::SkylakeServer {
+                if la != lb {
+                    server_diffs.push(ra.scenario.label());
+                }
+            } else {
+                assert_eq!(
+                    la,
+                    lb,
+                    "{name}: client cell {} must be byte-identical under the \
+                     calibrated receiver",
+                    ra.scenario.label()
+                );
+            }
+        }
+    }
+    // The calibration is not a no-op: the server cross-core cells are
+    // exactly where the adaptive receiver engages.
+    assert!(compared > 20, "catalog A/B too small: {compared} pairs");
+    assert!(
+        !server_diffs.is_empty(),
+        "no server cell changed — the calibrated receiver never engaged"
+    );
+    assert!(
+        server_diffs
+            .iter()
+            .all(|label| label.contains("skylake_server/IccCoresCovert")),
+        "calibration engaged outside the cross-core server cells: {server_diffs:?}"
+    );
+    assert!(
+        server_diffs
+            .iter()
+            .any(|label| label.contains("skylake_server/IccCoresCovert/quiet")),
+        "the fixed outlier cell must be among the changed cells: {server_diffs:?}"
+    );
+}

@@ -170,6 +170,93 @@ fn interrupted_campaign_resumes_without_redoing_finished_trials() {
 }
 
 #[test]
+fn resume_rejects_a_stream_written_under_a_different_shard_spec() {
+    // A shard 0/2 run is interrupted; its (truncated) stream is then
+    // offered to a 0/3 resume at the 0/3 path. The JSONL header must
+    // reject the partition mismatch instead of silently re-seeding a
+    // different slice of the grid.
+    let dir = temp_dir("resume_mismatch");
+    let grid = reference_grid();
+    let spec02 = ShardSpec::new(0, 2).expect("valid spec");
+    let run02 = campaigns::run_to_dir(
+        "ref",
+        &grid,
+        Executor::auto(),
+        &dir,
+        RunConfig {
+            shard: spec02,
+            resume: false,
+        },
+    )
+    .expect("shard 0/2 run");
+    // Truncate mid-line (the torn tail of a killed process) and move
+    // the stream where the mismatched resume will look for it.
+    let pristine = fs::read_to_string(&run02.paths[0]).expect("stream readable");
+    let torn = &pristine[..pristine.len() * 2 / 3];
+    let spec03 = ShardSpec::new(0, 3).expect("valid spec");
+    let path03 = dir.join("ref_shard0of3_trials.jsonl");
+    fs::write(&path03, torn).expect("torn stream written");
+    let err = campaigns::run_to_dir(
+        "ref",
+        &grid,
+        Executor::auto(),
+        &dir,
+        RunConfig {
+            shard: spec03,
+            resume: true,
+        },
+    )
+    .expect_err("partition mismatch must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let message = err.to_string();
+    assert!(
+        message.contains("refusing to resume") && message.contains("0/2"),
+        "unactionable error: {message}"
+    );
+    assert_eq!(
+        fs::read_to_string(&path03).expect("stream readable"),
+        torn,
+        "a rejected resume must not touch the stream"
+    );
+
+    // The same torn stream at an *unsharded* path is rejected too: it
+    // carries a shard header, so it is not this run's stream.
+    let unsharded = dir.join("ref_trials.jsonl");
+    fs::write(&unsharded, torn).expect("torn stream written");
+    let err = campaigns::run_to_dir(
+        "ref",
+        &grid,
+        Executor::auto(),
+        &dir,
+        RunConfig {
+            shard: ShardSpec::full(),
+            resume: true,
+        },
+    )
+    .expect_err("sharded stream must not satisfy an unsharded resume");
+    assert!(err.to_string().contains("unsharded"), "{err}");
+
+    // And a headerless (unsharded) stream cannot satisfy a sharded
+    // resume.
+    let full = campaigns::run_to_dir("ref", &grid, Executor::auto(), &dir, RunConfig::default())
+        .expect("unsharded run");
+    fs::copy(&full.paths[0], &path03).expect("stream copied");
+    let err = campaigns::run_to_dir(
+        "ref",
+        &grid,
+        Executor::auto(),
+        &dir,
+        RunConfig {
+            shard: spec03,
+            resume: true,
+        },
+    )
+    .expect_err("headerless stream must not satisfy a sharded resume");
+    assert!(err.to_string().contains("no shard header"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sharded_resume_composes() {
     // A shard interrupted and resumed still merges byte-identically.
     let dir = temp_dir("shard_resume");
