@@ -5,6 +5,9 @@
 //! ```text
 //! campaign [--campaign NAME|all] [--threads N] [--quick] [--list]
 //!          [--shard I/N] [--resume]
+//! campaign list [--json] [--quick]
+//! campaign bench [--quick] [--samples N] [--threads N]
+//!                [--out BENCH_5.json] [--check BASELINE.json]
 //! campaign merge <out-dir> <shard_trials.jsonl>...
 //! ```
 //!
@@ -18,12 +21,25 @@
 //! `<name>_shardIofN_trials.jsonl`; `merge` reassembles N such streams
 //! into artifacts byte-identical to an unsharded run. `--resume` scans
 //! an existing stream and skips its completed trials.
+//!
+//! `list --json` prints the machine-readable catalog (name, axes with
+//! value labels, cell and scenario counts) so a dispatcher can
+//! enumerate work without parsing human output. `bench` times the
+//! catalog end-to-end with the calibration memo off vs on and records
+//! the perf point as a one-line JSON file (`BENCH_5.json`);
+//! `--check` compares the cache-on wall-clock against a recorded
+//! baseline and fails on a >2× regression.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+use ichannels::channel::calibration;
 use ichannels_lab::campaigns::{self, RunConfig};
-use ichannels_lab::{Executor, ShardSpec};
+use ichannels_lab::{Executor, Grid, Scenario, ShardSpec};
+use ichannels_meter::export::JsonlRow;
+use ichannels_meter::parse::{field, parse_jsonl_line, JsonValue};
 
 fn campaign_names() -> String {
     campaigns::catalog(true)
@@ -37,6 +53,9 @@ fn usage_text() -> String {
     format!(
         "usage: campaign [--campaign NAME|all] [--threads N] [--quick] [--list]\n\
          \x20                [--shard I/N] [--resume]\n\
+         \x20      campaign list [--json] [--quick]\n\
+         \x20      campaign bench [--quick] [--samples N] [--threads N]\n\
+         \x20                     [--out BENCH_5.json] [--check BASELINE.json]\n\
          \x20      campaign merge <out-dir> <shard_trials.jsonl>...\n\
          campaigns: {}",
         campaign_names()
@@ -93,10 +112,276 @@ fn merge_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// Minimal JSON string escaping for the hand-rendered `list --json`
+/// nesting (axis arrays inside campaign objects — beyond the flat
+/// objects `JsonlRow` covers).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one catalog entry as a JSON object: name, cell/scenario
+/// counts, per-cell shape, and every axis with its value labels.
+fn campaign_json(name: &str, grid: &Grid, quick: bool) -> String {
+    let scenarios = grid.scenarios();
+    let cells: BTreeSet<String> = scenarios.iter().map(Scenario::cell_key).collect();
+    let axes = grid
+        .axes()
+        .iter()
+        .map(|a| {
+            let values = a
+                .values
+                .iter()
+                .map(|v| format!("\"{}\"", json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("\"{}\":[{values}]", a.axis)
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"name\":\"{}\",\"quick\":{quick},\"cells\":{},\"scenarios\":{},\
+         \"trials_per_cell\":{},\"payload_symbols\":{},\"axes\":{{{axes}}}}}",
+        json_escape(name),
+        cells.len(),
+        scenarios.len(),
+        grid.trials_per_cell(),
+        grid.payload_symbols_per_trial(),
+    )
+}
+
+fn list_main(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut quick = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown list argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let catalog = campaigns::catalog(quick);
+    if json {
+        let entries: Vec<String> = catalog
+            .iter()
+            .map(|(name, grid)| campaign_json(name, grid, quick))
+            .collect();
+        println!("[\n{}\n]", entries.join(",\n"));
+    } else {
+        for (name, grid) in catalog {
+            println!(
+                "{name} ({} {} scenario(s), {} trial(s)/cell)",
+                grid.scenarios().len(),
+                if quick { "quick" } else { "full" },
+                grid.trials_per_cell()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One timed end-to-end pass over the whole catalog.
+fn run_catalog(sets: &[(&'static str, Vec<Scenario>)], executor: Executor) -> Duration {
+    let start = Instant::now();
+    for (_, scenarios) in sets {
+        criterion::black_box(executor.run(scenarios));
+    }
+    start.elapsed()
+}
+
+fn stats_fields(row: JsonlRow, prefix: &str, stats: &criterion::Stats) -> JsonlRow {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    row.num(&format!("{prefix}_mean_ms"), ms(stats.mean))
+        .num(&format!("{prefix}_median_ms"), ms(stats.median))
+        .num(&format!("{prefix}_stddev_ms"), ms(stats.std_dev))
+        .num(&format!("{prefix}_p95_ms"), ms(stats.p95))
+        .num(&format!("{prefix}_best_ms"), ms(stats.best))
+}
+
+fn bench_main(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut samples = 3usize;
+    let mut threads: Option<usize> = None;
+    let mut out = PathBuf::from("BENCH_5.json");
+    let mut check: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--samples" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => samples = n,
+                _ => return usage(),
+            },
+            "--threads" | "-j" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => return usage(),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => return usage(),
+            },
+            "--check" => match iter.next() {
+                Some(path) => check = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unknown bench argument: {other}");
+                return usage();
+            }
+        }
+    }
+
+    // Read the baseline up front so `--out` may safely overwrite the
+    // same file the baseline was read from.
+    let baseline = match &check {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let line = text.lines().next().unwrap_or_default();
+                let fields = parse_jsonl_line(line).unwrap_or_default();
+                let Some(value) = field(&fields, "cache_on_median_ms")
+                    .and_then(JsonValue::as_f64_or_nan)
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                else {
+                    eprintln!(
+                        "{}: no finite cache_on_median_ms field — not a campaign bench record?",
+                        path.display()
+                    );
+                    return ExitCode::from(2);
+                };
+                let threads = field(&fields, "threads").and_then(JsonValue::as_u64);
+                Some((value, threads))
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
+    let executor = threads.map_or_else(Executor::auto, Executor::new);
+    let sets: Vec<(&'static str, Vec<Scenario>)> = campaigns::catalog(quick)
+        .into_iter()
+        .map(|(name, grid)| (name, grid.scenarios()))
+        .collect();
+    let scenario_total: usize = sets.iter().map(|(_, s)| s.len()).sum();
+    ichannels_bench::banner(&format!(
+        "campaign bench: {} campaign(s), {scenario_total} scenario(s), {samples} sample(s) \
+         per arm on {} threads",
+        sets.len(),
+        executor.threads()
+    ));
+
+    // Cache-off arm: every trial re-simulates its four training runs.
+    // An untimed warm-up pass precedes each arm so cold-start costs
+    // (page cache, allocator growth) never skew either side.
+    calibration::set_memo_enabled(false);
+    calibration::reset_memo();
+    run_catalog(&sets, executor);
+    calibration::reset_memo();
+    let off_samples: Vec<Duration> = (0..samples).map(|_| run_catalog(&sets, executor)).collect();
+    let trainings_off = calibration::memo_stats().misses / samples as u64;
+
+    // Cache-on arm: the warm-up run trains every distinct
+    // configuration, then the timed samples decode from the memo.
+    calibration::set_memo_enabled(true);
+    calibration::reset_memo();
+    run_catalog(&sets, executor);
+    let warmup_trainings = calibration::memo_stats().misses;
+    let on_samples: Vec<Duration> = (0..samples).map(|_| run_catalog(&sets, executor)).collect();
+    let on_stats_raw = calibration::memo_stats();
+    let trainings_on = (on_stats_raw.misses - warmup_trainings) / samples as u64;
+
+    let off = criterion::summarize_samples(&off_samples);
+    let on = criterion::summarize_samples(&on_samples);
+    // Medians: one preempted sample in a noisy container must not
+    // define the recorded perf point.
+    let speedup = off.median.as_secs_f64() / on.median.as_secs_f64();
+    println!(
+        "  cache-off: median {:?}, mean {:?}, p95 {:?} ({trainings_off} trainings/run)",
+        off.median, off.mean, off.p95
+    );
+    println!(
+        "  cache-on:  median {:?}, mean {:?}, p95 {:?} ({warmup_trainings} warm-up trainings, \
+         {trainings_on} trainings/run)",
+        on.median, on.mean, on.p95
+    );
+    println!("  speedup: {speedup:.2}x (median over {samples} samples)");
+
+    let mut row = JsonlRow::new()
+        .str("bench", "campaign_catalog_end_to_end")
+        .bool("quick", quick)
+        .int("samples", samples as u64)
+        .int("threads", executor.threads() as u64)
+        .int("campaigns", sets.len() as u64)
+        .int("scenarios", scenario_total as u64);
+    row = stats_fields(row, "cache_off", &off);
+    row = stats_fields(row, "cache_on", &on);
+    row = row
+        .num("speedup", speedup)
+        .int("calib_trainings_per_run_cache_off", trainings_off)
+        .int("calib_trainings_warmup", warmup_trainings)
+        .int("calib_trainings_per_run_cache_on", trainings_on);
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&out, format!("{}\n", row.to_json())) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote {}", out.display());
+
+    if let Some((baseline_ms, baseline_threads)) = baseline {
+        if let Some(recorded) = baseline_threads {
+            if recorded != executor.threads() as u64 {
+                eprintln!(
+                    "  WARNING: baseline was recorded on {recorded} thread(s) but this run \
+                     used {} — the 2x gate is only meaningful at matched thread counts \
+                     (pass --threads {recorded})",
+                    executor.threads()
+                );
+            }
+        }
+        let measured = on.median.as_secs_f64() * 1e3;
+        let ratio = measured / baseline_ms;
+        println!(
+            "  regression check: {measured:.1} ms vs recorded {baseline_ms:.1} ms ({ratio:.2}x)"
+        );
+        if ratio > 2.0 {
+            eprintln!(
+                "  FAILED: quick catalog regressed {ratio:.2}x over the recorded baseline \
+                 (limit 2x)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("merge") {
-        return merge_main(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("merge") => return merge_main(&args[1..]),
+        Some("list") => return list_main(&args[1..]),
+        Some("bench") => return bench_main(&args[1..]),
+        _ => {}
     }
     let mut which = "all".to_string();
     let mut threads: Option<usize> = None;

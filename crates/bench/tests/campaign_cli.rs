@@ -184,3 +184,122 @@ fn resume_completes_a_truncated_stream_identically() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn list_json_is_machine_readable() {
+    let dir = temp_dir("list_json");
+    let out = run_in(&dir, &["list", "--json", "--quick"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "not a JSON array: {trimmed}"
+    );
+    // One object per catalog campaign, each parseable as a flat-ish
+    // JSON line once the array framing and separators are stripped.
+    let entries: Vec<&str> = trimmed
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{'))
+        .collect();
+    assert_eq!(entries.len(), 5, "{trimmed}");
+    for entry in entries {
+        for key in [
+            "\"name\"",
+            "\"cells\"",
+            "\"scenarios\"",
+            "\"axes\"",
+            "\"trials_per_cell\"",
+        ] {
+            assert!(entry.contains(key), "{key} missing from {entry}");
+        }
+    }
+    assert!(
+        trimmed.contains("\"name\":\"client_vs_server\""),
+        "{trimmed}"
+    );
+    assert!(trimmed.contains("\"platforms\":["), "{trimmed}");
+    // An unknown flag is rejected, not ignored.
+    let out = run_in(&dir, &["list", "--jsn"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bench_records_a_perf_point_and_checks_regressions() {
+    let dir = temp_dir("bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let point = dir.join("BENCH_test.json");
+    let out = run_in(
+        &dir,
+        &[
+            "bench",
+            "--quick",
+            "--samples",
+            "1",
+            "--out",
+            point.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let text = std::fs::read_to_string(&point).expect("bench point written");
+    assert_eq!(text.lines().count(), 1, "one flat JSON object: {text}");
+    for key in [
+        "\"bench\":\"campaign_catalog_end_to_end\"",
+        "\"cache_off_median_ms\"",
+        "\"cache_on_median_ms\"",
+        "\"speedup\"",
+        "\"calib_trainings_per_run_cache_off\"",
+        "\"calib_trainings_per_run_cache_on\":0",
+    ] {
+        assert!(text.contains(key), "{key} missing from {text}");
+    }
+    // Checking against its own fresh point passes (ratio ≈ 1x ≤ 2x)…
+    let out = run_in(
+        &dir,
+        &[
+            "bench",
+            "--quick",
+            "--samples",
+            "1",
+            "--out",
+            point.to_str().unwrap(),
+            "--check",
+            point.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    // …an absurdly fast recorded baseline fails the 2x gate…
+    let fast = dir.join("BENCH_fast.json");
+    std::fs::write(&fast, "{\"cache_on_median_ms\":0.000001}\n").expect("baseline written");
+    let out = run_in(
+        &dir,
+        &[
+            "bench",
+            "--quick",
+            "--samples",
+            "1",
+            "--out",
+            point.to_str().unwrap(),
+            "--check",
+            fast.to_str().unwrap(),
+        ],
+    );
+    assert!(!out.status.success(), "2x regression gate must fail");
+    assert!(stderr_of(&out).contains("regressed"), "{}", stderr_of(&out));
+    // …and a baseline without the field is rejected up front.
+    let junk = dir.join("BENCH_junk.json");
+    std::fs::write(&junk, "{\"nope\":1}\n").expect("baseline written");
+    let out = run_in(
+        &dir,
+        &[
+            "bench",
+            "--quick",
+            "--samples",
+            "1",
+            "--check",
+            junk.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}

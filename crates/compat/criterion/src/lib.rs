@@ -74,19 +74,30 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-/// Per-iteration statistics over the batch samples of one benchmark.
+/// Statistics over one benchmark's timed samples: what the driver
+/// prints, exposed so external harnesses (e.g. `campaign bench`) can
+/// record the same numbers machine-readably.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct SampleStats {
-    mean: Duration,
-    median: Duration,
-    std_dev: Duration,
-    p95: Duration,
-    best: Duration,
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Nearest-rank median.
+    pub median: Duration,
+    /// Sample standard deviation.
+    pub std_dev: Duration,
+    /// Nearest-rank 95th percentile.
+    pub p95: Duration,
+    /// Fastest sample.
+    pub best: Duration,
 }
 
-/// Summarizes per-iteration sample durations: mean, median, sample
-/// standard deviation, 95th percentile (nearest-rank), and best.
-fn summarize_samples(samples: &[Duration]) -> SampleStats {
+/// Summarizes sample durations: mean, median, sample standard
+/// deviation, 95th percentile (nearest-rank), and best.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn summarize_samples(samples: &[Duration]) -> Stats {
     assert!(!samples.is_empty(), "no samples to summarize");
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
@@ -101,7 +112,7 @@ fn summarize_samples(samples: &[Duration]) -> SampleStats {
         let idx = (p / 100.0 * sorted.len() as f64).ceil() as usize;
         sorted[idx.clamp(1, sorted.len()) - 1]
     };
-    SampleStats {
+    Stats {
         mean: Duration::from_nanos(mean.round() as u64),
         median: rank(50.0),
         std_dev: Duration::from_nanos(variance.sqrt().round() as u64),

@@ -1,0 +1,275 @@
+//! Per-level receiver calibration: the training the paper's receiver
+//! does once per platform (§6), plus a process-wide memo cache so
+//! identical channel configurations train exactly once per process.
+//!
+//! [`Calibration::for_config`] is the pure, fingerprinted entry point:
+//! the calibration is a deterministic function of everything the
+//! training simulation consumes ([`fingerprint`] spells that set out),
+//! so a memo hit returns byte-identical means to a fresh recomputation
+//! and enabling the cache can never change output bytes. Configurations
+//! that differ anywhere — a different trial seed, a different noise
+//! level — produce a different fingerprint and simply miss.
+//!
+//! Because campaign trials deliberately mix their per-trial seed into
+//! the jitter/SoC seeds, a single fresh campaign pass shares nothing
+//! and runs at cache-off speed; the memo pays off whenever the *same*
+//! configurations recur in one process — re-running a catalog
+//! (`campaign bench`'s cache-on arm), A/B twins that resolve to the
+//! same tuning (`tests/receiver_invariance.rs`), figure harnesses
+//! re-deriving a calibration, and resumed/repeated trials.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::symbols::Symbol;
+
+use super::config::ChannelConfig;
+use super::kind::ChannelKind;
+use super::run::{ChannelError, IChannel, SymbolRun};
+
+/// Per-level mean receiver durations learned during calibration, in TSC
+/// cycles, plus nearest-mean decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    means: [f64; 4],
+}
+
+impl Calibration {
+    /// Builds a calibration from per-symbol mean durations (TSC cycles).
+    pub fn from_means(means: [f64; 4]) -> Self {
+        Calibration { means }
+    }
+
+    /// Derives the calibration for a channel configuration through the
+    /// process-wide memo cache: the first call for a given
+    /// [`fingerprint`] runs the four per-level training transmissions,
+    /// every later call returns the memoized (identical) means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` is zero, if the kind/platform combination is
+    /// unsupported, or if the training run itself fails (see
+    /// [`Calibration::try_for_config`] for the fallible form).
+    pub fn for_config(kind: ChannelKind, cfg: &ChannelConfig, reps: usize) -> Self {
+        Self::try_for_config(kind, cfg, reps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Calibration::for_config`]: a broken
+    /// configuration (e.g. a slot period too short for the PHI loop)
+    /// returns the [`ChannelError`] of the failing training run instead
+    /// of panicking. Errors are never cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`ChannelError`] of the first failing training
+    /// transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` is zero or the kind/platform combination is
+    /// unsupported.
+    pub fn try_for_config(
+        kind: ChannelKind,
+        cfg: &ChannelConfig,
+        reps: usize,
+    ) -> Result<Self, ChannelError> {
+        assert!(reps > 0, "calibration needs at least one repetition");
+        if !memo_enabled() {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            return calibrate_uncached(kind, cfg, reps);
+        }
+        let key = fingerprint(kind, cfg, reps);
+        if let Some(hit) = cache().lock().expect("calibration memo lock").get(&key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        // The training runs execute outside the lock so workers never
+        // serialize on each other's simulations; two workers racing on
+        // the same key compute identical means, so the double insert is
+        // benign.
+        let cal = calibrate_uncached(kind, cfg, reps)?;
+        let mut map = cache().lock().expect("calibration memo lock");
+        // Bound the memo: a long-lived process sweeping ever-fresh
+        // seeds would otherwise grow it without limit. Dropping every
+        // entry is always safe — the next lookup just retrains.
+        if map.len() >= MEMO_CAPACITY {
+            map.clear();
+        }
+        map.insert(key, cal.clone());
+        Ok(cal)
+    }
+
+    /// Per-symbol mean durations (TSC cycles).
+    pub fn means(&self) -> &[f64; 4] {
+        &self.means
+    }
+
+    /// Decodes a measured duration by the nearest calibrated mean.
+    pub fn decode(&self, duration_cycles: u64) -> Symbol {
+        let d = duration_cycles as f64;
+        let mut best = 0usize;
+        let mut best_err = f64::INFINITY;
+        for (i, m) in self.means.iter().enumerate() {
+            let e = (d - m).abs();
+            if e < best_err {
+                best_err = e;
+                best = i;
+            }
+        }
+        Symbol::new(best as u8)
+    }
+
+    /// The three decision thresholds between the four level means
+    /// (midpoints of the sorted means, TSC cycles) — the per-level
+    /// thresholds the training preamble learns. Nearest-mean decoding
+    /// is exactly thresholding against these.
+    pub fn thresholds(&self) -> [f64; 3] {
+        let mut sorted = self.means;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        [
+            (sorted[0] + sorted[1]) / 2.0,
+            (sorted[1] + sorted[2]) / 2.0,
+            (sorted[2] + sorted[3]) / 2.0,
+        ]
+    }
+
+    /// Decodes one symbol from repeated measurements of the same
+    /// transaction (repeat-and-vote): each duration votes for its
+    /// nearest mean, the plurality wins, and ties break toward the
+    /// smallest total distance. With a single duration this is exactly
+    /// [`Calibration::decode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations` is empty.
+    pub fn decode_vote(&self, durations: &[u64]) -> Symbol {
+        assert!(!durations.is_empty(), "vote needs at least one sample");
+        let mut counts = [0u32; 4];
+        let mut total_err = [0.0f64; 4];
+        for &d in durations {
+            counts[self.decode(d).value() as usize] += 1;
+            for (i, m) in self.means.iter().enumerate() {
+                total_err[i] += (d as f64 - m).abs();
+            }
+        }
+        let mut best = 0usize;
+        for i in 1..4 {
+            if counts[i] > counts[best]
+                || (counts[i] == counts[best] && total_err[i] < total_err[best])
+            {
+                best = i;
+            }
+        }
+        Symbol::new(best as u8)
+    }
+
+    /// Minimum separation between adjacent level means (TSC cycles) —
+    /// the paper reports > 2 000 cycles on a low-noise system (§6.3).
+    pub fn min_separation_cycles(&self) -> f64 {
+        let mut sorted = self.means;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs the four per-level training transmissions on one re-armed
+/// [`SymbolRun`] — the Soc-building invariants (instruction counts,
+/// slot schedule) are derived once and reused across the four runs.
+fn calibrate_uncached(
+    kind: ChannelKind,
+    cfg: &ChannelConfig,
+    reps: usize,
+) -> Result<Calibration, ChannelError> {
+    let channel = IChannel::new(kind, cfg.clone());
+    let mut run = SymbolRun::new(&channel);
+    let mut means = [0.0f64; 4];
+    for (i, mean) in means.iter_mut().enumerate() {
+        let symbols = vec![Symbol::new(i as u8); reps];
+        let durations = run.run(&symbols, |_| {})?;
+        *mean = durations.iter().map(|&d| d as f64).sum::<f64>() / reps as f64;
+    }
+    Ok(Calibration::from_means(means))
+}
+
+/// The memo key of one calibration: a stable rendering of **exactly**
+/// the inputs the training simulation consumes — the channel kind, the
+/// repetition count, the **resolved** receiver tuning (so a
+/// `Calibrated` mode that resolves to the identity tuning shares its
+/// entry with an explicit `Legacy` mode — the two runs are provably
+/// bit-identical), the transaction timing, the jitter seed/σ, and the
+/// full SoC configuration (platform constants, governor, mitigations,
+/// noise, SoC seed). Two configurations with equal fingerprints produce
+/// byte-identical calibrations; anything that differs — a per-trial
+/// seed, a knob override — changes the fingerprint and misses.
+pub fn fingerprint(kind: ChannelKind, cfg: &ChannelConfig, reps: usize) -> String {
+    let tuning = cfg.receiver.resolve(&cfg.soc.platform, kind);
+    format!(
+        "{kind:?}|reps={reps}|tuning={tuning:?}|slot={:?}|start={:?}|sender={:?}|recv={:?}|\
+         xdelay={:?}|jitter={:?}|jseed={}|soc={:?}",
+        cfg.slot_period,
+        cfg.start_offset,
+        cfg.sender_loop,
+        cfg.receiver_loop,
+        cfg.cross_core_delay,
+        cfg.measurement_jitter,
+        cfg.jitter_seed,
+        cfg.soc,
+    )
+}
+
+/// Hit/miss counters of the calibration memo. A "miss" is one executed
+/// four-run training (whether or not the cache was enabled), so
+/// `misses` counts the calibrations actually simulated by this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Calibrations served from the cache.
+    pub hits: u64,
+    /// Calibrations simulated (cache misses and disabled-cache runs).
+    pub misses: u64,
+}
+
+/// Entries the memo holds before it is wholesale cleared (a clear only
+/// costs retraining, never correctness).
+const MEMO_CAPACITY: usize = 8_192;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<String, Calibration>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Calibration>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// True while the process-wide calibration memo is consulted (the
+/// default).
+pub fn memo_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables the calibration memo. Disabling never changes
+/// results — every lookup is simply recomputed (what `campaign bench`
+/// times as the cache-off arm).
+pub fn set_memo_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Drops every memoized calibration and zeroes the hit/miss counters.
+pub fn reset_memo() {
+    cache().lock().expect("calibration memo lock").clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot of the memo counters.
+pub fn memo_stats() -> MemoStats {
+    MemoStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}

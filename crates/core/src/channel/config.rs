@@ -1,0 +1,60 @@
+//! [`ChannelConfig`]: the full configuration of a covert-channel
+//! instance — the simulated SoC plus the transaction timing.
+
+use ichannels_soc::config::{PlatformSpec, SocConfig};
+use ichannels_uarch::time::{Freq, SimTime};
+
+use super::receiver::ReceiverMode;
+
+/// Configuration of a covert channel instance.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// The simulated system the two contexts run on (platform, noise,
+    /// mitigations).
+    pub soc: SocConfig,
+    /// Transaction period: PHI transmission + reset-time (§6.2:
+    /// < 690 µs).
+    pub slot_period: SimTime,
+    /// Settling time before the first slot.
+    pub start_offset: SimTime,
+    /// Target (unthrottled) duration of the sender's PHI loop.
+    pub sender_loop: SimTime,
+    /// Target (unthrottled) duration of the receiver's measured loop.
+    pub receiver_loop: SimTime,
+    /// How long after the sender the cross-core receiver starts its loop
+    /// ("within a few hundred cycles", §4.3.1).
+    pub cross_core_delay: SimTime,
+    /// 1-σ receiver measurement jitter (rdtsc serialization, pipeline
+    /// drain — the spread visible in Figure 13).
+    pub measurement_jitter: SimTime,
+    /// RNG seed for the measurement jitter.
+    pub jitter_seed: u64,
+    /// How the receiver demodulates (platform-calibrated by default).
+    pub receiver: ReceiverMode,
+}
+
+impl ChannelConfig {
+    /// The paper's default setup: Cannon Lake pinned at 1.4 GHz
+    /// (IccSMTcovert is only testable there — Coffee Lake has no SMT).
+    pub fn default_cannon_lake() -> Self {
+        ChannelConfig {
+            soc: SocConfig::pinned(PlatformSpec::cannon_lake(), Freq::from_ghz(1.4)),
+            slot_period: SimTime::from_us(690.0),
+            start_offset: SimTime::from_us(100.0),
+            sender_loop: SimTime::from_us(15.0),
+            receiver_loop: SimTime::from_us(8.0),
+            cross_core_delay: SimTime::from_ns(150.0),
+            measurement_jitter: SimTime::from_ns(150.0),
+            jitter_seed: 0x05EE_D1CC,
+            receiver: ReceiverMode::Calibrated,
+        }
+    }
+
+    /// The frequency the channel operates at (pinned governor assumed).
+    pub fn freq(&self) -> Freq {
+        match self.soc.governor {
+            ichannels_pmu::governor::Governor::Userspace(f) => f,
+            _ => self.soc.platform.pstates.max(),
+        }
+    }
+}

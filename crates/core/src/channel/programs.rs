@@ -1,0 +1,200 @@
+//! The simulated sender/receiver programs a [`super::run::SymbolRun`]
+//! spawns onto the SoC, plus the receiver's measurement-jitter source.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ichannels_soc::program::{Action, ProgCtx, Program};
+use ichannels_uarch::isa::InstClass;
+use ichannels_workload::loops::Recorder;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::symbols::Symbol;
+
+/// Gaussian measurement jitter on the receiver's `rdtsc` delta.
+#[derive(Debug)]
+pub(crate) struct JitterSource {
+    rng: SmallRng,
+    sigma_cycles: f64,
+}
+
+impl JitterSource {
+    pub(crate) fn new(seed: u64, sigma_cycles: f64) -> Self {
+        JitterSource {
+            rng: SmallRng::seed_from_u64(seed),
+            sigma_cycles,
+        }
+    }
+
+    fn apply(&mut self, cycles: u64) -> u64 {
+        if self.sigma_cycles <= 0.0 {
+            return cycles;
+        }
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let jittered = cycles as f64 + g * self.sigma_cycles;
+        jittered.max(0.0).round() as u64
+    }
+}
+
+/// Same-hardware-thread program: alternates sender and receiver roles
+/// within each transaction slot (IccThreadCovert).
+pub(crate) struct ThreadChannelProg {
+    pub(crate) symbols: Vec<Symbol>,
+    pub(crate) idx: usize,
+    pub(crate) stage: u8,
+    pub(crate) slot0: u64,
+    pub(crate) period: u64,
+    pub(crate) sender_insts: [u64; 4],
+    pub(crate) recv_class: InstClass,
+    pub(crate) recv_insts: u64,
+    pub(crate) t_start: u64,
+    pub(crate) recorder: Recorder,
+    pub(crate) jitter: Rc<RefCell<JitterSource>>,
+}
+
+impl std::fmt::Debug for ThreadChannelProg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ThreadChannelProg(idx={})", self.idx)
+    }
+}
+
+impl Program for ThreadChannelProg {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        loop {
+            if self.idx >= self.symbols.len() {
+                return Action::Halt;
+            }
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    return Action::WaitUntilTsc(self.slot0 + self.idx as u64 * self.period);
+                }
+                1 => {
+                    // Sender role: PHI loop encoding two bits.
+                    self.stage = 2;
+                    let s = self.symbols[self.idx];
+                    return Action::Run {
+                        class: s.sender_class(),
+                        instructions: self.sender_insts[s.value() as usize],
+                    };
+                }
+                2 => {
+                    // Receiver role: timed 512b-Heavy loop.
+                    self.stage = 3;
+                    self.t_start = ctx.tsc;
+                    return Action::Run {
+                        class: self.recv_class,
+                        instructions: self.recv_insts,
+                    };
+                }
+                _ => {
+                    let d = ctx.tsc.saturating_sub(self.t_start);
+                    self.recorder.push(self.jitter.borrow_mut().apply(d));
+                    self.idx += 1;
+                    self.stage = 0;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "IccThreadCovert"
+    }
+}
+
+/// Standalone sender (IccSMTcovert / IccCoresCovert).
+pub(crate) struct SenderProg {
+    pub(crate) symbols: Vec<Symbol>,
+    pub(crate) idx: usize,
+    pub(crate) running: bool,
+    pub(crate) slot0: u64,
+    pub(crate) period: u64,
+    pub(crate) sender_insts: [u64; 4],
+}
+
+impl std::fmt::Debug for SenderProg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SenderProg(idx={})", self.idx)
+    }
+}
+
+impl Program for SenderProg {
+    fn next(&mut self, _ctx: &ProgCtx) -> Action {
+        if self.idx >= self.symbols.len() {
+            return Action::Halt;
+        }
+        if !self.running {
+            self.running = true;
+            Action::WaitUntilTsc(self.slot0 + self.idx as u64 * self.period)
+        } else {
+            self.running = false;
+            let s = self.symbols[self.idx];
+            self.idx += 1;
+            Action::Run {
+                class: s.sender_class(),
+                instructions: self.sender_insts[s.value() as usize],
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "IChannels sender"
+    }
+}
+
+/// Standalone receiver (IccSMTcovert / IccCoresCovert).
+pub(crate) struct ReceiverProg {
+    pub(crate) n: usize,
+    pub(crate) idx: usize,
+    pub(crate) stage: u8,
+    pub(crate) slot0: u64,
+    pub(crate) period: u64,
+    pub(crate) class: InstClass,
+    pub(crate) insts: u64,
+    pub(crate) t_start: u64,
+    pub(crate) recorder: Recorder,
+    pub(crate) jitter: Rc<RefCell<JitterSource>>,
+}
+
+impl std::fmt::Debug for ReceiverProg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReceiverProg(idx={})", self.idx)
+    }
+}
+
+impl Program for ReceiverProg {
+    fn next(&mut self, ctx: &ProgCtx) -> Action {
+        loop {
+            if self.idx >= self.n {
+                return Action::Halt;
+            }
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    return Action::WaitUntilTsc(self.slot0 + self.idx as u64 * self.period);
+                }
+                1 => {
+                    self.stage = 2;
+                    self.t_start = ctx.tsc;
+                    return Action::Run {
+                        class: self.class,
+                        instructions: self.insts,
+                    };
+                }
+                _ => {
+                    let d = ctx.tsc.saturating_sub(self.t_start);
+                    self.recorder.push(self.jitter.borrow_mut().apply(d));
+                    self.idx += 1;
+                    self.stage = 0;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "IChannels receiver"
+    }
+}

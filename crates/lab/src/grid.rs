@@ -24,6 +24,16 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// One axis of a [`Grid`], rendered for machine consumption: the axis
+/// name plus the stable labels of its values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisSummary {
+    /// Axis name (`"platforms"`, `"channels"`, `"noises"`, …).
+    pub axis: &'static str,
+    /// The axis values' cell-key labels, in enumeration order.
+    pub values: Vec<String>,
+}
+
 /// A declarative Cartesian sweep over scenario axes.
 ///
 /// # Examples
@@ -196,6 +206,79 @@ impl Grid {
         self
     }
 
+    /// Independent trials per cell.
+    pub fn trials_per_cell(&self) -> u32 {
+        self.trials
+    }
+
+    /// Payload symbols per trial.
+    pub fn payload_symbols_per_trial(&self) -> usize {
+        self.payload_symbols
+    }
+
+    /// The grid's axes with the stable labels of their values, in
+    /// enumeration order — the machine-readable shape `campaign list
+    /// --json` exports so a dispatcher can enumerate work without
+    /// parsing human output. Off-default values carry exactly the
+    /// cell-key segment they produce (`f2`, `rx-legacy`, `slew4.8`);
+    /// default values render placeholders (`default`, `stock`,
+    /// `rx-cal`) that by the seed-stability rule append no cell-key
+    /// segment at all, while `noapp`/`none`/noise/payload labels land
+    /// verbatim in the fixed seven-segment key prefix.
+    pub fn axes(&self) -> Vec<AxisSummary> {
+        let axis = |axis: &'static str, values: Vec<String>| AxisSummary { axis, values };
+        vec![
+            axis(
+                "platforms",
+                self.platforms
+                    .iter()
+                    .map(|p| p.label().to_string())
+                    .collect(),
+            ),
+            axis(
+                "freqs_ghz",
+                self.freqs
+                    .iter()
+                    .map(|f| f.map_or_else(|| "default".to_string(), |g| format!("f{g}")))
+                    .collect(),
+            ),
+            axis(
+                "channels",
+                self.channels.iter().map(|c| c.label()).collect(),
+            ),
+            axis("noises", self.noises.iter().map(|n| n.label()).collect()),
+            axis(
+                "mitigations",
+                self.mitigation_sets
+                    .iter()
+                    .map(|set| crate::scenario::mitigations_label(set))
+                    .collect(),
+            ),
+            axis(
+                "apps",
+                self.apps
+                    .iter()
+                    .map(|a| a.map_or_else(|| "noapp".to_string(), AppSpec::label))
+                    .collect(),
+            ),
+            axis(
+                "knobs",
+                self.knobs
+                    .iter()
+                    .map(|k| k.map_or_else(|| "stock".to_string(), Knob::label))
+                    .collect(),
+            ),
+            axis(
+                "receivers",
+                self.receivers.iter().map(|r| r.label()).collect(),
+            ),
+            axis(
+                "payloads",
+                self.payloads.iter().map(|p| p.label()).collect(),
+            ),
+        ]
+    }
+
     /// Raw Cartesian cardinality — the full cross product of all axes
     /// times the trial count, before platform-support filtering.
     pub fn cardinality(&self) -> usize {
@@ -353,6 +436,38 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn axes_render_stable_labels() {
+        let g = Grid::new()
+            .platforms(vec![PlatformId::CannonLake, PlatformId::SkylakeServer])
+            .kinds(&[ChannelKind::Thread, ChannelKind::Cores])
+            .noises(vec![NoiseSpec::Quiet, NoiseSpec::Low])
+            .freqs(vec![None, Some(2.0)])
+            .trials(3);
+        let axes = g.axes();
+        let of = |name: &str| {
+            axes.iter()
+                .find(|a| a.axis == name)
+                .unwrap_or_else(|| panic!("axis {name} missing"))
+                .values
+                .clone()
+        };
+        assert_eq!(of("platforms"), ["cannon_lake", "skylake_server"]);
+        assert_eq!(of("channels"), ["IccThreadCovert", "IccCoresCovert"]);
+        assert_eq!(of("noises"), ["quiet", "low"]);
+        assert_eq!(of("freqs_ghz"), ["default", "f2"]);
+        assert_eq!(of("mitigations"), ["none"]);
+        assert_eq!(of("apps"), ["noapp"]);
+        assert_eq!(of("knobs"), ["stock"]);
+        assert_eq!(of("receivers"), ["rx-cal"]);
+        assert_eq!(of("payloads"), ["random"]);
+        assert_eq!(g.trials_per_cell(), 3);
+        assert_eq!(g.payload_symbols_per_trial(), 24);
+        // The axis product times trials is the raw cardinality.
+        let product: usize = axes.iter().map(|a| a.values.len()).product();
+        assert_eq!(product * 3, g.cardinality());
     }
 
     #[test]

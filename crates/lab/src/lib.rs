@@ -70,11 +70,11 @@ pub mod trace;
 
 pub use campaigns::{CampaignReport, CampaignRun, MergedCampaign, RunConfig};
 pub use exec::Executor;
-pub use grid::Grid;
+pub use grid::{AxisSummary, Grid};
 pub use report::{CellSummary, TrialMetrics, TrialRecord, TrialRow};
 pub use scenario::{
     AlphabetSpec, AppKind, AppSpec, BaselineKind, ChannelSelect, IdqCondition, Knob, NoiseSpec,
-    PayloadSpec, PlatformId, ProbeKind, ReceiverSpec, Scenario,
+    PayloadSpec, PlatformId, ProbeKind, ReceiverSpec, Scenario, TrialContext,
 };
 pub use shard::{MergeError, ShardSpec, ShardStream};
 pub use trace::{TraceProgram, TraceRun, TraceSpec};

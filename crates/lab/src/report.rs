@@ -48,6 +48,25 @@ pub struct TrialMetrics {
     pub probe_aux: f64,
 }
 
+impl TrialMetrics {
+    /// The all-undefined metrics of a trial that never produced a
+    /// measurement (every value `NaN`, zero symbols) — what a failed
+    /// trial records next to its error.
+    pub const fn undefined() -> Self {
+        TrialMetrics {
+            ber: f64::NAN,
+            ser: f64::NAN,
+            throughput_bps: f64::NAN,
+            capacity_bps: f64::NAN,
+            mi_bits_per_symbol: f64::NAN,
+            min_separation_cycles: f64::NAN,
+            n_symbols: 0,
+            probe_value: f64::NAN,
+            probe_aux: f64::NAN,
+        }
+    }
+}
+
 /// One completed trial: the scenario plus its measurements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialRecord {
@@ -55,6 +74,11 @@ pub struct TrialRecord {
     pub scenario: Scenario,
     /// The measurements.
     pub metrics: TrialMetrics,
+    /// The readable failure of a trial whose channel run errored
+    /// (`None` for a successful trial). A failed trial keeps its row —
+    /// undefined metrics plus this message — so one bad cell never
+    /// aborts a campaign or shard.
+    pub error: Option<String>,
 }
 
 impl TrialRecord {
@@ -92,6 +116,10 @@ pub struct TrialRow {
     pub seed: u64,
     /// The measurements.
     pub metrics: TrialMetrics,
+    /// Failure message of an errored trial (`None` for a success). The
+    /// field renders only when present, so successful rows are
+    /// byte-identical to the pre-error-channel format.
+    pub error: Option<String>,
 }
 
 impl TrialRow {
@@ -109,6 +137,7 @@ impl TrialRow {
             trial: u64::from(s.trial),
             seed: s.seed,
             metrics: record.metrics,
+            error: record.error.clone(),
         }
     }
 
@@ -120,9 +149,11 @@ impl TrialRow {
 
     /// Renders the row as one JSONL object (stable field order) — the
     /// single render path shared by fresh runs and reloaded streams.
+    /// The `error` field is appended only for errored trials, keeping
+    /// every successful row byte-identical to the historical format.
     pub fn jsonl_row(&self) -> JsonlRow {
         let m = &self.metrics;
-        JsonlRow::new()
+        let row = JsonlRow::new()
             .str("cell", &self.cell)
             .str("platform", &self.platform)
             .str("channel", &self.channel)
@@ -140,7 +171,11 @@ impl TrialRow {
             .num("mi_bits_per_symbol", m.mi_bits_per_symbol)
             .num("min_separation_cycles", m.min_separation_cycles)
             .num("probe_value", m.probe_value)
-            .num("probe_aux", m.probe_aux)
+            .num("probe_aux", m.probe_aux);
+        match &self.error {
+            Some(e) => row.str("error", e),
+            None => row,
+        }
     }
 
     /// Parses one JSONL trial line back into a row.
@@ -178,6 +213,10 @@ impl TrialRow {
             payload: text("payload")?,
             trial: uint("trial")?,
             seed: uint("seed")?,
+            // Optional: only errored trials carry the field.
+            error: field(&fields, "error")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
             metrics: TrialMetrics {
                 n_symbols: uint("n_symbols")? as usize,
                 ber: float("ber")?,
@@ -475,6 +514,29 @@ mod tests {
         }
         // A structurally valid object missing trial fields also fails.
         assert!(TrialRow::parse("{\"cell\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn errored_rows_carry_their_message_and_round_trip() {
+        let records = sample_records();
+        let mut errored = TrialRow::from_record(&records[0]);
+        errored.error = Some("IccThreadCovert receiver missed transactions".to_string());
+        errored.metrics = TrialMetrics::undefined();
+        let line = errored.jsonl_row().to_json();
+        assert!(line.contains("\"error\":\"IccThreadCovert"), "{line}");
+        let reparsed = TrialRow::parse(&line).expect("errored row parses");
+        assert_eq!(reparsed.error, errored.error);
+        assert_eq!(reparsed.jsonl_row().to_json(), line);
+        // Successful rows keep the historical byte format: no `error`
+        // key at all.
+        let clean = TrialRow::from_record(&records[0]);
+        assert_eq!(clean.error, None);
+        assert!(!clean.jsonl_row().to_json().contains("\"error\""));
+        // Undefined metrics drop out of the cell aggregates.
+        let cells = summarize_rows(&[errored]);
+        assert_eq!(cells[0].trials, 1);
+        assert!(cells[0].ber.is_none());
+        assert!(cells[0].throughput.is_none());
     }
 
     #[test]
