@@ -4,11 +4,13 @@
 //!
 //! ```text
 //! campaign [--campaign NAME|all] [--threads N] [--quick] [--list]
-//!          [--shard I/N] [--resume]
+//!          [--shard I/N] [--resume] [--telemetry DIR] [--progress]
 //! campaign list [--json] [--quick]
 //! campaign bench [--quick] [--samples N] [--threads N]
 //!                [--out BENCH_5.json] [--check BASELINE.json]
 //! campaign merge <out-dir> <shard_trials.jsonl>...
+//! campaign profile [--campaign NAME|all] [--quick] [--threads N]
+//! campaign telemetry <out.json> <telemetry.json>...
 //! ```
 //!
 //! Campaigns: `client_vs_server`, `noise_robustness`,
@@ -29,6 +31,16 @@
 //! the perf point as a one-line JSON file (`BENCH_5.json`);
 //! `--check` compares the cache-on wall-clock against a recorded
 //! baseline and fails on a >2× regression.
+//!
+//! Observability (all strictly out-of-band — artifacts are
+//! byte-identical with every flag on or off): `--telemetry DIR` runs
+//! with the `ichannels-obs` layer enabled and writes the merged
+//! snapshot to `DIR/telemetry.json` (suffixed `_shardIofN` when
+//! sharded) next to — never inside — the JSONL; `--progress` paints a
+//! stderr ticker (cells done/total, ETA, error cells); `profile` runs
+//! campaigns with spans enabled and prints the per-phase time
+//! breakdown; `telemetry` merges shard snapshots back into one and
+//! sanity-checks the schema.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -52,11 +64,13 @@ fn campaign_names() -> String {
 fn usage_text() -> String {
     format!(
         "usage: campaign [--campaign NAME|all] [--threads N] [--quick] [--list]\n\
-         \x20                [--shard I/N] [--resume]\n\
+         \x20                [--shard I/N] [--resume] [--telemetry DIR] [--progress]\n\
          \x20      campaign list [--json] [--quick]\n\
          \x20      campaign bench [--quick] [--samples N] [--threads N]\n\
          \x20                     [--out BENCH_5.json] [--check BASELINE.json]\n\
          \x20      campaign merge <out-dir> <shard_trials.jsonl>...\n\
+         \x20      campaign profile [--campaign NAME|all] [--quick] [--threads N]\n\
+         \x20      campaign telemetry <out.json> <telemetry.json>...\n\
          campaigns: {}",
         campaign_names()
     )
@@ -100,6 +114,7 @@ fn merge_main(args: &[String]) -> ExitCode {
                 merged.rows.len(),
                 merged.cells.len()
             );
+            println!("  {}", error_summary(&merged.rows));
             for p in &merged.paths {
                 println!("  wrote {}", p.display());
             }
@@ -110,6 +125,13 @@ fn merge_main(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The one-line error-cell summary printed after `run` and `merge`
+/// so typed `ChannelError`s are visible without grepping JSONL.
+fn error_summary(rows: &[ichannels_lab::TrialRow]) -> String {
+    let errored = rows.iter().filter(|r| r.error.is_some()).count();
+    format!("{} trial(s), {errored} errored", rows.len())
 }
 
 /// Minimal JSON string escaping for the hand-rendered `list --json`
@@ -349,12 +371,14 @@ fn bench_main(args: &[String]) -> ExitCode {
     println!("  wrote {}", out.display());
 
     if let Some((baseline_ms, baseline_threads)) = baseline {
+        let baseline_path = check.as_ref().expect("baseline implies --check");
         if let Some(recorded) = baseline_threads {
             if recorded != executor.threads() as u64 {
                 eprintln!(
-                    "  WARNING: baseline was recorded on {recorded} thread(s) but this run \
-                     used {} — the 2x gate is only meaningful at matched thread counts \
+                    "  WARNING: baseline {} was recorded on {recorded} thread(s) but this \
+                     run used {} — the 2x gate is only meaningful at matched thread counts \
                      (pass --threads {recorded})",
+                    baseline_path.display(),
                     executor.threads()
                 );
             }
@@ -375,12 +399,200 @@ fn bench_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The five trial phases `campaign profile` breaks a run into, in
+/// pipeline order. Span histograms record nanoseconds under these
+/// exact names.
+const TRIAL_PHASES: [&str; 5] = [
+    "trial.resolve",
+    "trial.config",
+    "trial.calibration",
+    "trial.transmit",
+    "trial.metrics",
+];
+
+/// `campaign profile [--campaign NAME|all] [--quick] [--threads N]`:
+/// runs each selected campaign with spans enabled and prints the
+/// per-phase time breakdown. Defaults to one thread so the phase sums
+/// are directly comparable to wall time (on N threads the busy sums
+/// exceed one wall clock).
+fn profile_main(args: &[String]) -> ExitCode {
+    let mut which = "all".to_string();
+    let mut quick = false;
+    let mut threads = 1usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--campaign" | "-c" => match iter.next() {
+                Some(name) => which = name.clone(),
+                None => return usage(),
+            },
+            "--quick" => quick = true,
+            "--threads" | "-j" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => return usage(),
+            },
+            other => {
+                eprintln!("unknown profile argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let selected: Vec<_> = campaigns::catalog(quick)
+        .into_iter()
+        .filter(|(name, _)| which == "all" || which == *name)
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "unknown campaign {which:?}; valid campaigns: {}, all",
+            campaign_names()
+        );
+        return ExitCode::from(2);
+    }
+
+    let executor = Executor::new(threads);
+    for (name, grid) in selected {
+        let scenarios = grid.scenarios();
+        ichannels_bench::banner(&format!(
+            "campaign profile {name}: {} scenario(s) on {threads} thread(s)",
+            scenarios.len()
+        ));
+        ichannels_obs::reset();
+        ichannels_obs::set_enabled(true);
+        let started = Instant::now();
+        let records = executor.run(&scenarios);
+        let wall = started.elapsed();
+        ichannels_obs::set_enabled(false);
+        let snap = ichannels_obs::global().snapshot();
+
+        let wall_ns = wall.as_nanos() as f64;
+        println!(
+            "  {:<18} {:>12} {:>7} {:>8} {:>12}",
+            "phase", "total ms", "share", "samples", "mean µs"
+        );
+        let mut phase_sum_ns = 0u64;
+        for phase in TRIAL_PHASES {
+            let h = snap.histogram(phase);
+            phase_sum_ns += h.sum;
+            println!(
+                "  {:<18} {:>12.1} {:>6.1}% {:>8} {:>12.1}",
+                phase.trim_start_matches("trial."),
+                h.sum as f64 / 1e6,
+                h.sum as f64 / wall_ns * 100.0,
+                h.count,
+                h.mean() / 1e3,
+            );
+        }
+        let total = snap.histogram("trial.total");
+        println!(
+            "  {:<18} {:>12.1} {:>6.1}% {:>8} {:>12.1}",
+            "(trial total)",
+            total.sum as f64 / 1e6,
+            total.sum as f64 / wall_ns * 100.0,
+            total.count,
+            total.mean() / 1e3,
+        );
+        println!(
+            "  phases sum to {:.1} ms = {:.1}% of {:.1} ms wall",
+            phase_sum_ns as f64 / 1e6,
+            phase_sum_ns as f64 / wall_ns * 100.0,
+            wall_ns / 1e6,
+        );
+        let step = snap.histogram("soc.step_ns");
+        println!(
+            "  soc stepping: {:.1} ms over {} rearm(s), {} slot(s) simulated",
+            step.sum as f64 / 1e6,
+            snap.counter("soc.rearms"),
+            snap.counter("soc.slots_simulated"),
+        );
+        println!(
+            "  calibration memo: {} request(s) = {} hit(s) + {} miss(es)",
+            snap.counter("calibration.requests"),
+            snap.counter("calibration.memo_hits"),
+            snap.counter("calibration.memo_misses"),
+        );
+        let errored = records.iter().filter(|r| r.error.is_some()).count();
+        println!("  {} trial(s), {errored} errored", records.len());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `campaign telemetry <out.json> <telemetry.json>...`: merges shard
+/// telemetry snapshots back into one (associatively — any grouping
+/// gives the same bytes) and sanity-checks the result: the schema tag,
+/// a non-zero trial count, and the memo invariant
+/// `calibration.requests == memo_hits + memo_misses`. The CI merge job
+/// runs this over the shard artifacts.
+fn telemetry_main(args: &[String]) -> ExitCode {
+    let [out, inputs @ ..] = args else {
+        eprintln!("telemetry needs an output path and at least one snapshot");
+        return usage();
+    };
+    if inputs.is_empty() {
+        eprintln!("telemetry {out}: no input snapshots given");
+        return usage();
+    }
+    let mut merged = ichannels_obs::MetricsSnapshot::new();
+    for input in inputs {
+        let text = match std::fs::read_to_string(input) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match ichannels_obs::MetricsSnapshot::parse(&text) {
+            Ok(snap) => merged.merge(&snap),
+            Err(e) => {
+                eprintln!("{input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let trials = merged.counter("trial.runs");
+    let requests = merged.counter("calibration.requests");
+    let hits = merged.counter("calibration.memo_hits");
+    let misses = merged.counter("calibration.memo_misses");
+    if trials == 0 {
+        eprintln!("sanity check failed: merged snapshot records zero trials (trial.runs)");
+        return ExitCode::FAILURE;
+    }
+    if requests != hits + misses {
+        eprintln!(
+            "sanity check failed: calibration.requests = {requests} but memo_hits + \
+             memo_misses = {hits} + {misses} = {}",
+            hits + misses
+        );
+        return ExitCode::FAILURE;
+    }
+    let out = PathBuf::from(out);
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&out, format!("{}\n", merged.to_json())) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "merged {} snapshot(s): {trials} trial(s), {requests} calibration request(s) \
+         ({hits} memo hit(s), {misses} miss(es)), {} error(s)",
+        inputs.len(),
+        merged.counter("trial.errors"),
+    );
+    println!("  wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("merge") => return merge_main(&args[1..]),
         Some("list") => return list_main(&args[1..]),
         Some("bench") => return bench_main(&args[1..]),
+        Some("profile") => return profile_main(&args[1..]),
+        Some("telemetry") => return telemetry_main(&args[1..]),
         _ => {}
     }
     let mut which = "all".to_string();
@@ -388,6 +600,8 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut shard = ShardSpec::full();
     let mut resume = false;
+    let mut progress = false;
+    let mut telemetry: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -411,6 +625,11 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--resume" => resume = true,
+            "--progress" => progress = true,
+            "--telemetry" => match iter.next() {
+                Some(dir) => telemetry = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
             "--list" => {
                 for (name, grid) in campaigns::catalog(true) {
                     println!("{name} ({} quick scenarios)", grid.scenarios().len());
@@ -443,8 +662,15 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    if telemetry.is_some() {
+        ichannels_obs::set_enabled(true);
+    }
     let results_dir = ichannels_bench::results_dir();
-    let config = RunConfig { shard, resume };
+    let config = RunConfig {
+        shard,
+        resume,
+        progress,
+    };
     for (name, grid) in selected {
         let scheduled = shard.len_of(grid.scenarios().len());
         ichannels_bench::banner(&format!(
@@ -474,6 +700,7 @@ fn main() -> ExitCode {
                         .map_or_else(|| "-".to_string(), |s| format!("{:.0}", s.mean));
                     println!("  {:<64} ber {ber:>8}  tp {tp:>8} b/s", cell.cell);
                 }
+                println!("  {}", error_summary(&run.rows));
                 for p in &run.paths {
                     println!("  wrote {}", p.display());
                 }
@@ -483,6 +710,24 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(dir) = telemetry {
+        // One snapshot per invocation, covering every selected
+        // campaign, written next to the JSONL — never inside it.
+        ichannels_obs::set_enabled(false);
+        let snap = ichannels_obs::global().snapshot();
+        let path = dir.join(format!("{}.json", shard.file_stem("telemetry")));
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&path, format!("{}\n", snap.to_json())) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }

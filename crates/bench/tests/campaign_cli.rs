@@ -225,6 +225,166 @@ fn list_json_is_machine_readable() {
 }
 
 #[test]
+fn telemetry_flag_writes_a_snapshot_next_to_the_jsonl() {
+    let dir = temp_dir("telemetry_run");
+    let campaign = "noise_robustness";
+
+    // A plain run first: the telemetry flag must not move its bytes.
+    let plain = run_in(&dir, &["--quick", "--campaign", campaign]);
+    assert!(plain.status.success(), "{}", stderr_of(&plain));
+    let stream = dir.join(format!("{campaign}_trials.jsonl"));
+    let pristine = std::fs::read(&stream).expect("stream readable");
+
+    let out = run_in(
+        &dir,
+        &[
+            "--quick",
+            "--campaign",
+            campaign,
+            "--telemetry",
+            dir.to_str().unwrap(),
+            "--progress",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert_eq!(
+        std::fs::read(&stream).expect("stream readable"),
+        pristine,
+        "--telemetry/--progress moved trial bytes"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("trial(s), 0 errored"), "{stdout}");
+    // The ticker paints cells/ETA on stderr only.
+    let err = stderr_of(&out);
+    assert!(err.contains("cells"), "{err}");
+    assert!(err.contains("ETA"), "{err}");
+
+    let snapshot_path = dir.join("telemetry.json");
+    let text = std::fs::read_to_string(&snapshot_path).expect("telemetry.json written");
+    assert_eq!(text.lines().count(), 1, "one-line snapshot: {text}");
+    assert!(
+        text.contains("\"schema\":\"ichannels-telemetry-v1\""),
+        "{text}"
+    );
+    for key in [
+        "\"trial.runs\"",
+        "\"calibration.requests\"",
+        "\"trial.transmit\"",
+        "\"soc.step_ns\"",
+    ] {
+        assert!(text.contains(key), "{key} missing from {text}");
+    }
+    assert!(
+        !String::from_utf8_lossy(&pristine).contains("schema"),
+        "telemetry must never land inside the JSONL"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_telemetry_snapshots_merge_and_sanity_check() {
+    let dir = temp_dir("telemetry_shards");
+    let campaign = "noise_robustness";
+    let mut snapshot_paths = Vec::new();
+    for i in 0..2 {
+        let spec = format!("{i}/2");
+        let out = run_in(
+            &dir,
+            &[
+                "--quick",
+                "--campaign",
+                campaign,
+                "--shard",
+                &spec,
+                "--telemetry",
+                dir.to_str().unwrap(),
+            ],
+        );
+        assert!(out.status.success(), "shard {spec}: {}", stderr_of(&out));
+        snapshot_paths.push(dir.join(format!("telemetry_shard{i}of2.json")));
+    }
+    for p in &snapshot_paths {
+        assert!(p.exists(), "{} missing", p.display());
+    }
+
+    let merged_path = dir.join("merged_telemetry.json");
+    let mut merge = campaign_bin();
+    merge
+        .arg("telemetry")
+        .arg(&merged_path)
+        .args(&snapshot_paths);
+    let out = merge.output().expect("telemetry merge runs");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("merged 2 snapshot(s)"), "{stdout}");
+    assert!(std::fs::read_to_string(&merged_path)
+        .expect("merged snapshot written")
+        .contains("\"schema\":\"ichannels-telemetry-v1\""),);
+
+    // The sanity checks fail loudly: an empty snapshot has no trials…
+    let empty = dir.join("empty.json");
+    std::fs::write(
+        &empty,
+        "{\"schema\":\"ichannels-telemetry-v1\",\"counters\":{},\"gauges\":{},\"histograms\":{}}\n",
+    )
+    .expect("empty snapshot written");
+    let out = campaign_bin()
+        .arg("telemetry")
+        .arg(dir.join("nope.json"))
+        .arg(&empty)
+        .output()
+        .expect("telemetry runs");
+    assert!(!out.status.success(), "zero-trial snapshot must fail");
+    assert!(
+        stderr_of(&out).contains("zero trials"),
+        "{}",
+        stderr_of(&out)
+    );
+    // …and garbage is rejected as not-a-snapshot.
+    let junk = dir.join("junk.json");
+    std::fs::write(&junk, "{\"schema\":\"something-else\"}\n").expect("junk written");
+    let out = campaign_bin()
+        .arg("telemetry")
+        .arg(dir.join("nope.json"))
+        .arg(&junk)
+        .output()
+        .expect("telemetry runs");
+    assert!(!out.status.success(), "wrong schema must fail");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_prints_a_phase_breakdown_covering_the_wall_clock() {
+    let dir = temp_dir("profile");
+    let out = run_in(&dir, &["profile", "--campaign", "modulation_capacity"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for phase in ["resolve", "config", "calibration", "transmit", "metrics"] {
+        assert!(stdout.contains(phase), "phase {phase} missing: {stdout}");
+    }
+    assert!(stdout.contains("soc stepping"), "{stdout}");
+    assert!(stdout.contains("calibration memo"), "{stdout}");
+    // The acceptance bar: phase times sum to ≥90% of wall time.
+    let coverage_line = stdout
+        .lines()
+        .find(|l| l.contains("phases sum to"))
+        .unwrap_or_else(|| panic!("no coverage line in {stdout}"));
+    let percent: f64 = coverage_line
+        .split('=')
+        .nth(1)
+        .and_then(|s| s.trim().split('%').next())
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparseable coverage line: {coverage_line}"));
+    assert!(
+        percent >= 90.0,
+        "phase coverage {percent}% below the 90% bar: {stdout}"
+    );
+    // An unknown campaign is rejected like the run path rejects it.
+    let out = run_in(&dir, &["profile", "--campaign", "no_such_campaign"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn bench_records_a_perf_point_and_checks_regressions() {
     let dir = temp_dir("bench");
     std::fs::create_dir_all(&dir).expect("temp dir");

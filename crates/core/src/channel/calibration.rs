@@ -75,16 +75,20 @@ impl Calibration {
         reps: usize,
     ) -> Result<Self, ChannelError> {
         assert!(reps > 0, "calibration needs at least one repetition");
+        ichannels_obs::counter_add("calibration.requests", 1);
         if !memo_enabled() {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            ichannels_obs::counter_add("calibration.memo_misses", 1);
             return calibrate_uncached(kind, cfg, reps);
         }
         let key = fingerprint(kind, cfg, reps);
         if let Some(hit) = cache().lock().expect("calibration memo lock").get(&key) {
             HITS.fetch_add(1, Ordering::Relaxed);
+            ichannels_obs::counter_add("calibration.memo_hits", 1);
             return Ok(hit.clone());
         }
         MISSES.fetch_add(1, Ordering::Relaxed);
+        ichannels_obs::counter_add("calibration.memo_misses", 1);
         // The training runs execute outside the lock so workers never
         // serialize on each other's simulations; two workers racing on
         // the same key compute identical means, so the double insert is

@@ -263,7 +263,17 @@ impl SymbolRun {
         }
 
         let deadline = self.start_offset + self.slot_period.scale((symbols.len() + 2) as f64);
+        // Per-rearm SoC stepping time. The Instant is taken only while
+        // telemetry is on; timing lives strictly out-of-band and never
+        // feeds back into the simulation.
+        let stepping = ichannels_obs::enabled().then(std::time::Instant::now);
         soc.run_until_idle(deadline);
+        if let Some(started) = stepping {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            ichannels_obs::observe("soc.step_ns", ns);
+            ichannels_obs::counter_add("soc.slots_simulated", symbols.len() as u64);
+            ichannels_obs::counter_add("soc.rearms", 1);
+        }
         let durations = recorder.values();
         if durations.len() != symbols.len() {
             return Err(ChannelError::ReceiverMissedTransactions {

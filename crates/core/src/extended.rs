@@ -228,7 +228,17 @@ impl MultiLevelChannel {
                     );
                 }
             }
+            // Per-transaction SoC stepping time (out-of-band, like
+            // `SymbolRun::run`): each independent run is one rearm
+            // simulating a single slot.
+            let stepping = ichannels_obs::enabled().then(std::time::Instant::now);
             soc.run_until_idle(SimTime::from_ms(5.0));
+            if let Some(started) = stepping {
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                ichannels_obs::observe("soc.step_ns", ns);
+                ichannels_obs::counter_add("soc.slots_simulated", 1);
+                ichannels_obs::counter_add("soc.rearms", 1);
+            }
             out.push(rec.values()[0]);
         }
         out

@@ -81,6 +81,10 @@ pub struct RunConfig {
     pub shard: ShardSpec,
     /// Scan an existing trial JSONL and skip its completed trials.
     pub resume: bool,
+    /// Print a live progress ticker (cells done/total, ETA, error
+    /// cells) to stderr. Strictly out-of-band: stdout and every
+    /// artifact stay byte-identical with the ticker on or off.
+    pub progress: bool,
 }
 
 impl Default for RunConfig {
@@ -88,7 +92,91 @@ impl Default for RunConfig {
         RunConfig {
             shard: ShardSpec::full(),
             resume: false,
+            progress: false,
         }
+    }
+}
+
+/// The `--progress` stderr ticker: tracks cell completion over the
+/// scheduled scenarios and repaints one status line per emitted trial
+/// row. Writes only to stderr, so artifacts and stdout are untouched.
+struct ProgressTicker {
+    name: String,
+    started: std::time::Instant,
+    /// Trials not yet emitted, per cell key; a cell is done when its
+    /// count reaches zero.
+    remaining: HashMap<String, usize>,
+    cells_total: usize,
+    cells_done: usize,
+    error_cells: std::collections::HashSet<String>,
+    trials_total: usize,
+    trials_done: usize,
+}
+
+impl ProgressTicker {
+    fn new(name: &str, scenarios: &[Scenario]) -> Self {
+        let mut remaining: HashMap<String, usize> = HashMap::new();
+        for s in scenarios {
+            *remaining.entry(s.cell_key()).or_insert(0) += 1;
+        }
+        ProgressTicker {
+            name: name.to_string(),
+            started: std::time::Instant::now(),
+            cells_total: remaining.len(),
+            trials_total: scenarios.len(),
+            remaining,
+            cells_done: 0,
+            error_cells: std::collections::HashSet::new(),
+            trials_done: 0,
+        }
+    }
+
+    /// Accounts one emitted row (resumed or executed) and repaints.
+    fn record(&mut self, row: &TrialRow) {
+        self.trials_done += 1;
+        if let Some(left) = self.remaining.get_mut(&row.cell) {
+            *left = left.saturating_sub(1);
+            if *left == 0 {
+                self.cells_done += 1;
+            }
+        }
+        if row.error.is_some() {
+            self.error_cells.insert(row.cell.clone());
+        }
+        self.paint();
+    }
+
+    fn eta(&self) -> String {
+        let left = self.trials_total.saturating_sub(self.trials_done);
+        if self.trials_done == 0 || left == 0 {
+            return "--".to_string();
+        }
+        let per_trial = self.started.elapsed().as_secs_f64() / self.trials_done as f64;
+        let secs = per_trial * left as f64;
+        if secs >= 90.0 {
+            format!("{:.1}min", secs / 60.0)
+        } else {
+            format!("{secs:.0}s")
+        }
+    }
+
+    fn paint(&self) {
+        eprint!(
+            "\r{}: cells {}/{} · trials {}/{} · {} error cell(s) · ETA {}   ",
+            self.name,
+            self.cells_done,
+            self.cells_total,
+            self.trials_done,
+            self.trials_total,
+            self.error_cells.len(),
+            self.eta()
+        );
+    }
+
+    /// Final repaint plus the newline that releases the status line.
+    fn finish(&self) {
+        self.paint();
+        eprintln!();
     }
 }
 
@@ -233,6 +321,9 @@ pub fn run_to_dir(
     }
     let resumed = scenarios.len() - todo.len();
 
+    let mut ticker = config
+        .progress
+        .then(|| ProgressTicker::new(name, &scenarios));
     let mut writer = JsonlWriter::create(&jsonl_path)?;
     if !config.shard.is_full() {
         writer.write_row(&config.shard.header_row(name, total))?;
@@ -245,6 +336,9 @@ pub fn run_to_dir(
     for row in &rows[..prefix_end] {
         let row = row.as_ref().expect("prefix rows are resumed");
         writer.write_row(&row.jsonl_row())?;
+        if let Some(t) = ticker.as_mut() {
+            t.record(row);
+        }
     }
     writer.flush()?;
     // The sink interleaves any remaining reloaded rows with fresh
@@ -257,18 +351,28 @@ pub fn run_to_dir(
             return;
         }
         let pos = todo_pos[j];
+        let fresh = TrialRow::from_record(record);
         let result = (cursor..pos)
             .try_for_each(|k| {
                 let row = rows[k].as_ref().expect("rows before a todo are resumed");
-                writer.write_row(&row.jsonl_row())
+                writer.write_row(&row.jsonl_row())?;
+                if let Some(t) = ticker.as_mut() {
+                    t.record(row);
+                }
+                Ok(())
             })
-            .and_then(|()| writer.write_row(&TrialRow::from_record(record).jsonl_row()))
+            .and_then(|()| writer.write_row(&fresh.jsonl_row()))
             // Per-trial flush: the live stream on disk is always a
             // whole-line prefix of the run, so a kill costs at most
             // the in-flight trial.
             .and_then(|()| writer.flush());
         match result {
-            Ok(()) => cursor = pos + 1,
+            Ok(()) => {
+                cursor = pos + 1;
+                if let Some(t) = ticker.as_mut() {
+                    t.record(&fresh);
+                }
+            }
             Err(e) => write_err = Some(e),
         }
     });
@@ -285,8 +389,14 @@ pub fn run_to_dir(
         .collect();
     for row in &rows[cursor..] {
         writer.write_row(&row.jsonl_row())?;
+        if let Some(t) = ticker.as_mut() {
+            t.record(row);
+        }
     }
     writer.finish()?;
+    if let Some(t) = ticker.as_ref() {
+        t.finish();
+    }
 
     let cells = summarize_rows(&rows);
     let mut paths = vec![jsonl_path];
@@ -633,7 +743,7 @@ mod tests {
         for index in 0..3 {
             let config = RunConfig {
                 shard: ShardSpec::new(index, 3).unwrap(),
-                resume: false,
+                ..RunConfig::default()
             };
             let shard_run = run_to_dir("unit", &grid, Executor::new(2), &dir, config).unwrap();
             assert_eq!(shard_run.paths.len(), 1, "shards write JSONL only");
@@ -682,8 +792,8 @@ mod tests {
         );
         std::fs::write(jsonl, &torn).unwrap();
         let resume = RunConfig {
-            shard: ShardSpec::full(),
             resume: true,
+            ..RunConfig::default()
         };
         let resumed = run_to_dir("unit", &grid, Executor::new(2), &dir, resume).unwrap();
         assert_eq!(resumed.resumed, 3, "three intact rows reloaded");
@@ -712,8 +822,8 @@ mod tests {
         // A different base seed invalidates every cached row.
         let reseeded = small_grid().base_seed(0xDEAD_BEEF);
         let resume = RunConfig {
-            shard: ShardSpec::full(),
             resume: true,
+            ..RunConfig::default()
         };
         let rerun = run_to_dir("unit", &reseeded, Executor::serial(), &dir, resume).unwrap();
         assert_eq!(rerun.resumed, 0, "stale rows must not satisfy resume");

@@ -88,23 +88,46 @@ impl Executor {
         if items.is_empty() {
             return Vec::new();
         }
+        // Pool telemetry (out-of-band: never read back by the run).
+        let telemetry = ichannels_obs::enabled();
+        let pool_started = telemetry.then(std::time::Instant::now);
         let next = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
         let f = &f;
         let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
         std::thread::scope(|scope| {
             let workers = self.threads.min(items.len());
+            if telemetry {
+                ichannels_obs::gauge_max("exec.threads", workers as u64);
+            }
             for _ in 0..workers {
                 let next = Arc::clone(&next);
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                scope.spawn(move || {
+                    let mut busy_ns = 0u64;
+                    let mut done = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let item_started = telemetry.then(std::time::Instant::now);
+                        let result = f(&items[i]);
+                        if let Some(started) = item_started {
+                            busy_ns = busy_ns.saturating_add(
+                                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
+                            done += 1;
+                        }
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
                     }
-                    let result = f(&items[i]);
-                    if tx.send((i, result)).is_err() {
-                        break;
+                    if telemetry {
+                        // One sample per worker: the distribution shows
+                        // pool balance, the sum total busy time.
+                        ichannels_obs::observe("exec.worker_busy_ns", busy_ns);
+                        ichannels_obs::counter_add("exec.items", done);
                     }
                 });
             }
@@ -120,6 +143,10 @@ impl Executor {
                 }
             }
         });
+        if let Some(started) = pool_started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            ichannels_obs::observe("exec.pool_wall_ns", ns);
+        }
         slots
             .into_iter()
             .map(|slot| slot.expect("every slot filled"))

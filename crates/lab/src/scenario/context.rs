@@ -78,7 +78,12 @@ impl<'a> TrialContext<'a> {
             ChannelSelect::Icc(kind) => self.run_icc(kind),
             ChannelSelect::MultiLevel(kind, alpha) => self.run_multilevel(kind, alpha),
             ChannelSelect::Baseline(b) => Ok(self.run_baseline(b)),
-            ChannelSelect::Probe(p) => super::probe::run_probe(self, p),
+            ChannelSelect::Probe(p) => {
+                // Probes have no separate calibration/metrics phases;
+                // the whole measurement counts as transmit time.
+                let _span = ichannels_obs::span("trial.transmit");
+                super::probe::run_probe(self, p)
+            }
         }
     }
 
@@ -113,7 +118,10 @@ impl<'a> TrialContext<'a> {
 
     fn run_icc(&self, kind: ChannelKind) -> Result<TrialMetrics, ChannelError> {
         let channel = IChannel::new(kind, self.cfg.clone());
-        let cal = self.calibration(kind)?;
+        let cal = {
+            let _span = ichannels_obs::span("trial.calibration");
+            self.calibration(kind)?
+        };
         let symbols = self.payload_symbols_vec();
         let app = self.scenario.app;
         let placement = app.map(|_| self.app_placement(kind, &channel.config().soc.platform));
@@ -123,6 +131,7 @@ impl<'a> TrialContext<'a> {
         let deadline =
             channel.config().start_offset + channel.config().slot_period.scale((slots + 2) as f64);
         let app_seed = mix(self.scenario.seed, 4);
+        let transmit_span = ichannels_obs::span("trial.transmit");
         let tx = channel.try_transmit_symbols_with(&symbols, &cal, |soc: &mut Soc| {
             if let (Some(app), Some((core, smt))) = (app, placement) {
                 let program: Box<dyn ichannels_soc::program::Program> = match app.kind {
@@ -144,6 +153,8 @@ impl<'a> TrialContext<'a> {
                 soc.spawn(core, smt, program);
             }
         })?;
+        drop(transmit_span);
+        let _metrics_span = ichannels_obs::span("trial.metrics");
         let mut confusion = ConfusionMatrix::new(4);
         for (s, r) in tx.sent.iter().zip(&tx.received) {
             confusion.record(s.value() as usize, r.value() as usize);
@@ -170,8 +181,15 @@ impl<'a> TrialContext<'a> {
     ) -> Result<TrialMetrics, ChannelError> {
         let s = self.scenario;
         let channel = MultiLevelChannel::new(kind, self.cfg.clone(), alpha.alphabet());
-        let means = channel.calibrate(s.calib_reps);
-        let eval = channel.evaluate(&means, s.payload_symbols, mix(s.seed, 3));
+        let means = {
+            let _span = ichannels_obs::span("trial.calibration");
+            channel.calibrate(s.calib_reps)
+        };
+        let eval = {
+            let _span = ichannels_obs::span("trial.transmit");
+            channel.evaluate(&means, s.payload_symbols, mix(s.seed, 3))
+        };
+        let _metrics_span = ichannels_obs::span("trial.metrics");
         let mut sorted = means.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
         let min_sep = sorted
@@ -194,6 +212,9 @@ impl<'a> TrialContext<'a> {
     }
 
     fn run_baseline(&self, kind: BaselineKind) -> TrialMetrics {
+        // Baselines calibrate and transmit inside one published-setup
+        // driver; the whole measurement counts as transmit time.
+        let _span = ichannels_obs::span("trial.transmit");
         let payload_symbols = self.scenario.payload_symbols;
         let (bps, ber, n) = match kind {
             BaselineKind::NetSpectre => {

@@ -184,22 +184,34 @@ impl Scenario {
     ///
     /// Panics if the scenario is not [`Scenario::supported`].
     pub fn run(&self) -> TrialRecord {
-        assert!(
-            self.supported(),
-            "unsupported scenario {} (grids filter these)",
-            self.label()
-        );
-        match TrialContext::new(self).run() {
+        let _total = ichannels_obs::span("trial.total");
+        ichannels_obs::counter_add("trial.runs", 1);
+        {
+            let _resolve = ichannels_obs::span("trial.resolve");
+            assert!(
+                self.supported(),
+                "unsupported scenario {} (grids filter these)",
+                self.label()
+            );
+        }
+        let ctx = {
+            let _config = ichannels_obs::span("trial.config");
+            TrialContext::new(self)
+        };
+        match ctx.run() {
             Ok(metrics) => TrialRecord {
                 scenario: self.clone(),
                 metrics,
                 error: None,
             },
-            Err(e) => TrialRecord {
-                scenario: self.clone(),
-                metrics: TrialMetrics::undefined(),
-                error: Some(e.to_string()),
-            },
+            Err(e) => {
+                ichannels_obs::counter_add("trial.errors", 1);
+                TrialRecord {
+                    scenario: self.clone(),
+                    metrics: TrialMetrics::undefined(),
+                    error: Some(e.to_string()),
+                }
+            }
         }
     }
 }

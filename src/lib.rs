@@ -13,7 +13,9 @@
 //! * [`ichannels_pmu`] / [`ichannels_pdn`] / [`ichannels_uarch`] — the
 //!   power-management, power-delivery, and microarchitecture substrates;
 //! * [`ichannels_workload`] — measured loops, phase programs, apps;
-//! * [`ichannels_meter`] — the DAQ model and statistics.
+//! * [`ichannels_meter`] — the DAQ model and statistics;
+//! * [`ichannels_obs`] — the deterministic-safe telemetry layer
+//!   (metrics registry, phase spans, mergeable snapshots).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -21,6 +23,7 @@
 pub use ichannels;
 pub use ichannels_lab;
 pub use ichannels_meter;
+pub use ichannels_obs;
 pub use ichannels_pdn;
 pub use ichannels_pmu;
 pub use ichannels_soc;

@@ -110,6 +110,7 @@ fn every_catalog_campaign_shards_and_merges_byte_identically() {
             let config = RunConfig {
                 shard: ShardSpec::new(index, 3).expect("valid spec"),
                 resume: false,
+                progress: false,
             };
             let shard = campaigns::run_to_dir(name, &grid, Executor::auto(), &shard_dir, config)
                 .expect("shard run");
@@ -156,6 +157,7 @@ fn interrupted_campaign_resumes_without_redoing_finished_trials() {
     let resume = RunConfig {
         shard: ShardSpec::full(),
         resume: true,
+        progress: false,
     };
     let resumed =
         campaigns::run_to_dir("ref", &grid, Executor::auto(), &dir, resume).expect("resumed run");
@@ -186,6 +188,7 @@ fn resume_rejects_a_stream_written_under_a_different_shard_spec() {
         RunConfig {
             shard: spec02,
             resume: false,
+            progress: false,
         },
     )
     .expect("shard 0/2 run");
@@ -204,6 +207,7 @@ fn resume_rejects_a_stream_written_under_a_different_shard_spec() {
         RunConfig {
             shard: spec03,
             resume: true,
+            progress: false,
         },
     )
     .expect_err("partition mismatch must be rejected");
@@ -231,6 +235,7 @@ fn resume_rejects_a_stream_written_under_a_different_shard_spec() {
         RunConfig {
             shard: ShardSpec::full(),
             resume: true,
+            progress: false,
         },
     )
     .expect_err("sharded stream must not satisfy an unsharded resume");
@@ -249,6 +254,7 @@ fn resume_rejects_a_stream_written_under_a_different_shard_spec() {
         RunConfig {
             shard: spec03,
             resume: true,
+            progress: false,
         },
     )
     .expect_err("headerless stream must not satisfy a sharded resume");
@@ -265,6 +271,7 @@ fn sharded_resume_composes() {
     let sharded = RunConfig {
         shard: spec,
         resume: false,
+        progress: false,
     };
     let shard =
         campaigns::run_to_dir("ref", &grid, Executor::auto(), &dir, sharded).expect("shard run");
@@ -280,6 +287,7 @@ fn sharded_resume_composes() {
         RunConfig {
             shard: spec,
             resume: true,
+            progress: false,
         },
     )
     .expect("resumed shard");

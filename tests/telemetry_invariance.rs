@@ -1,0 +1,207 @@
+//! The telemetry layer's load-bearing guarantee: **byte transparency**.
+//! Enabling spans and metrics must not move a single output byte —
+//! the whole quick catalog renders identical JSONL with telemetry on
+//! and off — and shard snapshots must merge associatively back into
+//! the unsharded snapshot (the telemetry analogue of `merge_streams`),
+//! pinned by a proptest over arbitrary shard splits.
+//!
+//! The obs switch is process-global state, so every test here
+//! serializes on one lock and restores the disabled default however
+//! it exits.
+
+use std::sync::{Mutex, MutexGuard};
+
+use ichannels_repro::ichannels_lab::report::records_to_jsonl;
+use ichannels_repro::ichannels_lab::{campaigns, Executor};
+use ichannels_repro::ichannels_obs as obs;
+use proptest::prelude::*;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes obs-global tests and restores the default (disabled)
+/// switch however the test exits.
+struct ObsGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ObsGuard {
+    fn acquire() -> Self {
+        let guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        ObsGuard(guard)
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        obs::set_enabled(false);
+    }
+}
+
+/// The whole quick catalog renders byte-identical JSONL with telemetry
+/// on and off — every span, counter, and histogram lives strictly
+/// out-of-band, so the golden suite and the determinism proofs cannot
+/// see the difference.
+#[test]
+fn catalog_jsonl_is_byte_identical_with_telemetry_on_and_off() {
+    let _guard = ObsGuard::acquire();
+    for (name, grid) in campaigns::catalog(true) {
+        let scenarios = grid.scenarios();
+        obs::set_enabled(false);
+        let off = Executor::new(4).run(&scenarios);
+        obs::set_enabled(true);
+        obs::reset();
+        let on = Executor::new(4).run(&scenarios);
+        obs::set_enabled(false);
+        assert_eq!(
+            records_to_jsonl(&off),
+            records_to_jsonl(&on),
+            "{name}: telemetry leaked into trial bytes"
+        );
+    }
+}
+
+/// An instrumented run actually records: phase spans for every trial,
+/// the trial counter, and the calibration memo invariant
+/// `requests == hits + misses` (the CI merge job's sanity check).
+#[test]
+fn instrumented_catalog_records_the_advertised_metrics() {
+    let _guard = ObsGuard::acquire();
+    let (_, grid) = campaigns::catalog(true)
+        .into_iter()
+        .find(|(name, _)| *name == "client_vs_server")
+        .expect("catalog campaign");
+    let scenarios = grid.scenarios();
+    obs::set_enabled(true);
+    obs::reset();
+    let records = Executor::new(2).run(&scenarios);
+    obs::set_enabled(false);
+    let snap = obs::global().snapshot();
+
+    let n = scenarios.len() as u64;
+    assert_eq!(snap.counter("trial.runs"), n);
+    assert_eq!(records.len(), scenarios.len());
+    for phase in [
+        "trial.total",
+        "trial.resolve",
+        "trial.config",
+        "trial.calibration",
+        "trial.transmit",
+        "trial.metrics",
+    ] {
+        assert_eq!(snap.histogram(phase).count, n, "{phase} missed trials");
+    }
+    // The five sub-phases nest inside trial.total.
+    let phases_ns: u64 = [
+        "trial.resolve",
+        "trial.config",
+        "trial.calibration",
+        "trial.transmit",
+        "trial.metrics",
+    ]
+    .iter()
+    .map(|p| snap.histogram(p).sum)
+    .sum();
+    let total_ns = snap.histogram("trial.total").sum;
+    assert!(
+        phases_ns <= total_ns,
+        "phase sums {phases_ns}ns exceed trial totals {total_ns}ns"
+    );
+    // SoC stepping was observed and dominates nothing it shouldn't:
+    // every icc trial re-arms at least once (calibration + payload).
+    assert!(snap.counter("soc.rearms") >= n);
+    assert!(snap.histogram("soc.step_ns").count >= n);
+    // The memo invariant the `campaign telemetry` sanity check
+    // enforces across merged shards.
+    let requests = snap.counter("calibration.requests");
+    assert!(requests > 0, "icc trials must request calibrations");
+    assert_eq!(
+        requests,
+        snap.counter("calibration.memo_hits") + snap.counter("calibration.memo_misses")
+    );
+    // Executor accounting: one busy sample per worker, every item
+    // counted.
+    assert_eq!(snap.counter("exec.items"), n);
+    assert!(snap.gauges.contains_key("exec.threads"));
+}
+
+/// Splits `snap`-shaped recordings across shards: each shard registry
+/// records a disjoint slice of the same event stream.
+fn record_events(registry: &obs::MetricsRegistry, events: &[(u8, u64)]) {
+    for &(kind, v) in events {
+        match kind % 3 {
+            0 => registry.add_counter("c", v),
+            1 => registry.gauge_max("g", v),
+            _ => registry.observe("h", v),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Shard snapshots merge associatively and commutatively: any
+    /// split of one event stream into N shard registries, merged in
+    /// any grouping (left fold, right fold, pairwise), reproduces the
+    /// unsharded snapshot byte for byte — the same contract
+    /// `merge_streams` gives trial rows.
+    #[test]
+    fn snapshot_merge_is_associative_over_shard_splits(
+        events in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 1..64),
+        n_shards in 1usize..6,
+    ) {
+        // Unsharded reference: every event in one registry.
+        let full = obs::MetricsRegistry::new();
+        record_events(&full, &events);
+        let reference = full.snapshot();
+
+        // Round-robin the events across shard registries.
+        let shards: Vec<obs::MetricsSnapshot> = (0..n_shards)
+            .map(|i| {
+                let r = obs::MetricsRegistry::new();
+                let slice: Vec<(u8, u64)> = events
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(j, _)| j % n_shards == i)
+                    .map(|(_, e)| e)
+                    .collect();
+                record_events(&r, &slice);
+                r.snapshot()
+            })
+            .collect();
+
+        // Left fold.
+        let mut left = obs::MetricsSnapshot::new();
+        for s in &shards {
+            left.merge(s);
+        }
+        prop_assert_eq!(&left, &reference);
+        prop_assert_eq!(left.to_json(), reference.to_json());
+
+        // Reverse order (commutativity).
+        let mut rev = obs::MetricsSnapshot::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        prop_assert_eq!(&rev, &reference);
+
+        // Pairwise tree (associativity): merge adjacent pairs until
+        // one snapshot remains.
+        let mut layer = shards.clone();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| {
+                    let mut m = pair[0].clone();
+                    if let Some(b) = pair.get(1) {
+                        m.merge(b);
+                    }
+                    m
+                })
+                .collect();
+        }
+        prop_assert_eq!(&layer[0], &reference);
+
+        // And the merged snapshot round-trips through its JSON.
+        let parsed = obs::MetricsSnapshot::parse(&reference.to_json()).expect("parses");
+        prop_assert_eq!(parsed, reference);
+    }
+}
