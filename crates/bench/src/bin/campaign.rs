@@ -5,10 +5,14 @@
 //! ```text
 //! campaign [--campaign NAME|all] [--threads N] [--quick] [--list]
 //!          [--shard I/N] [--resume] [--telemetry DIR] [--progress]
+//!          [--fail-on-error]
 //! campaign list [--json] [--quick]
 //! campaign bench [--quick] [--samples N] [--threads N]
 //!                [--out BENCH_5.json] [--check BASELINE.json]
-//! campaign merge <out-dir> <shard_trials.jsonl>...
+//! campaign merge [--fail-on-error] <out-dir> <shard_trials.jsonl>...
+//! campaign fuzz [--seed S] [--cases N] [--tolerance T] [--shard I/N]
+//!               [--threads N]
+//! campaign fuzz merge <out.jsonl> <shard_findings.jsonl>...
 //! campaign profile [--campaign NAME|all] [--quick] [--threads N]
 //! campaign telemetry <out.json> <telemetry.json>...
 //! ```
@@ -23,6 +27,17 @@
 //! `<name>_shardIofN_trials.jsonl`; `merge` reassembles N such streams
 //! into artifacts byte-identical to an unsharded run. `--resume` scans
 //! an existing stream and skips its completed trials.
+//!
+//! `--fail-on-error` (on `run` and `merge`) exits nonzero when any
+//! trial recorded a typed `ChannelError`, so CI catches error cells
+//! instead of scrolling past the "N trial(s), K errored" line.
+//!
+//! `fuzz` samples `--cases` randomized scenarios from `--seed` across
+//! every lab axis, judges each against the load-line/guard-band
+//! envelope model and the engine invariants, shrinks anything flagged
+//! to a minimal reproducer, and writes the replayable
+//! `results/fuzz_findings.jsonl` (suffixed `_shardIofN` when sharded;
+//! `fuzz merge` reassembles shard findings byte-identically).
 //!
 //! `list --json` prints the machine-readable catalog (name, axes with
 //! value labels, cell and scenario counts) so a dispatcher can
@@ -49,7 +64,8 @@ use std::time::{Duration, Instant};
 
 use ichannels::channel::calibration;
 use ichannels_lab::campaigns::{self, RunConfig};
-use ichannels_lab::{Executor, Grid, Scenario, ShardSpec};
+use ichannels_lab::fuzz::{self, findings};
+use ichannels_lab::{Executor, FuzzConfig, Grid, Scenario, ShardSpec};
 use ichannels_meter::export::JsonlRow;
 use ichannels_meter::parse::{field, parse_jsonl_line, JsonValue};
 
@@ -65,10 +81,14 @@ fn usage_text() -> String {
     format!(
         "usage: campaign [--campaign NAME|all] [--threads N] [--quick] [--list]\n\
          \x20                [--shard I/N] [--resume] [--telemetry DIR] [--progress]\n\
+         \x20                [--fail-on-error]\n\
          \x20      campaign list [--json] [--quick]\n\
          \x20      campaign bench [--quick] [--samples N] [--threads N]\n\
          \x20                     [--out BENCH_5.json] [--check BASELINE.json]\n\
-         \x20      campaign merge <out-dir> <shard_trials.jsonl>...\n\
+         \x20      campaign merge [--fail-on-error] <out-dir> <shard_trials.jsonl>...\n\
+         \x20      campaign fuzz [--seed S] [--cases N] [--tolerance T] [--shard I/N]\n\
+         \x20                    [--threads N]\n\
+         \x20      campaign fuzz merge <out.jsonl> <shard_findings.jsonl>...\n\
          \x20      campaign profile [--campaign NAME|all] [--quick] [--threads N]\n\
          \x20      campaign telemetry <out.json> <telemetry.json>...\n\
          campaigns: {}",
@@ -82,7 +102,17 @@ fn usage() -> ExitCode {
 }
 
 fn merge_main(args: &[String]) -> ExitCode {
-    let (out_dir, inputs) = match args {
+    let mut fail_on_error = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let flag = a.as_str() == "--fail-on-error";
+            fail_on_error |= flag;
+            !flag
+        })
+        .cloned()
+        .collect();
+    let (out_dir, inputs) = match &args[..] {
         [] => {
             eprintln!("merge needs an output directory and at least two shard streams");
             return usage();
@@ -118,6 +148,11 @@ fn merge_main(args: &[String]) -> ExitCode {
             for p in &merged.paths {
                 println!("  wrote {}", p.display());
             }
+            let errored = errored_count(&merged.rows);
+            if fail_on_error && errored > 0 {
+                eprintln!("merge failed --fail-on-error: {errored} trial(s) errored");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -127,11 +162,16 @@ fn merge_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// Trials that recorded a typed `ChannelError` — what `--fail-on-error`
+/// gates on.
+fn errored_count(rows: &[ichannels_lab::TrialRow]) -> usize {
+    rows.iter().filter(|r| r.error.is_some()).count()
+}
+
 /// The one-line error-cell summary printed after `run` and `merge`
 /// so typed `ChannelError`s are visible without grepping JSONL.
 fn error_summary(rows: &[ichannels_lab::TrialRow]) -> String {
-    let errored = rows.iter().filter(|r| r.error.is_some()).count();
-    format!("{} trial(s), {errored} errored", rows.len())
+    format!("{} trial(s), {} errored", rows.len(), errored_count(rows))
 }
 
 /// Minimal JSON string escaping for the hand-rendered `list --json`
@@ -585,10 +625,157 @@ fn telemetry_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses a fuzz seed: decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// `campaign fuzz merge <out.jsonl> <shard_findings.jsonl>...`:
+/// reassembles shard findings into the unsharded report. Findings are
+/// pure in their case index, so sorting by case re-interleaves the
+/// shards into exactly the bytes an unsharded run writes.
+fn fuzz_merge_main(args: &[String]) -> ExitCode {
+    let [out, inputs @ ..] = args else {
+        eprintln!("fuzz merge needs an output path and at least one shard findings file");
+        return usage();
+    };
+    if inputs.is_empty() {
+        eprintln!("fuzz merge {out}: no shard findings given");
+        return usage();
+    }
+    let mut all = Vec::new();
+    for input in inputs {
+        let text = match std::fs::read_to_string(input) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (n, line) in text.lines().enumerate() {
+            match findings::Finding::parse(line) {
+                Ok(f) => all.push(f),
+                Err(e) => {
+                    eprintln!("{input}:{}: {e}", n + 1);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let merged = findings::merge_findings(all);
+    let out = PathBuf::from(out);
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&out, findings::findings_to_jsonl(&merged)) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "merged {} shard findings file(s): {} finding(s)",
+        inputs.len(),
+        merged.len()
+    );
+    println!("  wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// `campaign fuzz [--seed S] [--cases N] [--tolerance T] [--shard I/N]
+/// [--threads N]`: the randomized-scenario anomaly hunter. Samples,
+/// judges, and shrinks on the worker pool, then writes the replayable
+/// findings report under the results directory. Exit code reflects the
+/// run, not the findings — a finding is a report row to triage into a
+/// pinned test, not a CI failure by itself.
+fn fuzz_main(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("merge") {
+        return fuzz_merge_main(&args[1..]);
+    }
+    let mut config = FuzzConfig::default();
+    let mut threads: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => match iter.next().map(String::as_str).and_then(parse_seed) {
+                Some(seed) => config.seed = seed,
+                None => return usage(),
+            },
+            "--cases" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.cases = n,
+                None => return usage(),
+            },
+            "--tolerance" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(t) if (0.0..=1.0).contains(&t) => config.tolerance = t,
+                _ => return usage(),
+            },
+            "--shard" => match iter.next() {
+                Some(spec) => match ShardSpec::parse(spec) {
+                    Ok(parsed) => config.shard = parsed,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage(),
+            },
+            "--threads" | "-j" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => return usage(),
+            },
+            other => {
+                eprintln!("unknown fuzz argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let executor = threads.map_or_else(Executor::auto, Executor::new);
+    ichannels_bench::banner(&format!(
+        "campaign fuzz: {} case(s), seed {:#x}{} on {} threads",
+        config.cases,
+        config.seed,
+        if config.shard.is_full() {
+            String::new()
+        } else {
+            format!(" [shard {}]", config.shard)
+        },
+        executor.threads()
+    ));
+    let report = fuzz::run(&config, &executor);
+    for f in &report.findings {
+        println!(
+            "  case {:>5}: {} at {} (measured {:.4}, allowed {:.4}; shrunk from {})",
+            f.case, f.kind, f.shrunk_cell, f.shrunk_measured, f.shrunk_allowed, f.cell
+        );
+    }
+    println!(
+        "  {} case(s) judged, {} finding(s)",
+        report.cases_run,
+        report.findings.len()
+    );
+    let results_dir = ichannels_bench::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&results_dir) {
+        eprintln!("cannot create {}: {e}", results_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = results_dir.join(format!("{}.jsonl", config.shard.file_stem("fuzz_findings")));
+    if let Err(e) = std::fs::write(&path, report.to_jsonl()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("merge") => return merge_main(&args[1..]),
+        Some("fuzz") => return fuzz_main(&args[1..]),
         Some("list") => return list_main(&args[1..]),
         Some("bench") => return bench_main(&args[1..]),
         Some("profile") => return profile_main(&args[1..]),
@@ -601,6 +788,7 @@ fn main() -> ExitCode {
     let mut shard = ShardSpec::full();
     let mut resume = false;
     let mut progress = false;
+    let mut fail_on_error = false;
     let mut telemetry: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -626,6 +814,7 @@ fn main() -> ExitCode {
             },
             "--resume" => resume = true,
             "--progress" => progress = true,
+            "--fail-on-error" => fail_on_error = true,
             "--telemetry" => match iter.next() {
                 Some(dir) => telemetry = Some(PathBuf::from(dir)),
                 None => return usage(),
@@ -671,6 +860,7 @@ fn main() -> ExitCode {
         resume,
         progress,
     };
+    let mut total_errored = 0usize;
     for (name, grid) in selected {
         let scheduled = shard.len_of(grid.scenarios().len());
         ichannels_bench::banner(&format!(
@@ -701,6 +891,7 @@ fn main() -> ExitCode {
                     println!("  {:<64} ber {ber:>8}  tp {tp:>8} b/s", cell.cell);
                 }
                 println!("  {}", error_summary(&run.rows));
+                total_errored += errored_count(&run.rows);
                 for p in &run.paths {
                     println!("  wrote {}", p.display());
                 }
@@ -728,6 +919,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("  wrote {}", path.display());
+    }
+    if fail_on_error && total_errored > 0 {
+        eprintln!("run failed --fail-on-error: {total_errored} trial(s) errored");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

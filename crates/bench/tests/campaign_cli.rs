@@ -385,6 +385,146 @@ fn profile_prints_a_phase_breakdown_covering_the_wall_clock() {
 }
 
 #[test]
+fn fuzz_findings_are_replayable_and_shards_merge_byte_identical() {
+    let dir_a = temp_dir("fuzz_a");
+    let dir_b = temp_dir("fuzz_b");
+    // Seed 7 flags a case within the first 64, so the byte comparisons
+    // below cover a real shrunk finding row, not just empty files.
+    let args = ["fuzz", "--cases", "96", "--seed", "7", "--threads", "2"];
+    for dir in [&dir_a, &dir_b] {
+        let out = run_in(dir, &args);
+        assert!(out.status.success(), "{}", stderr_of(&out));
+    }
+    let findings =
+        std::fs::read_to_string(dir_a.join("fuzz_findings.jsonl")).expect("findings written");
+    assert!(
+        findings.contains("\"kind\":"),
+        "expected at least one finding row, got: {findings:?}"
+    );
+    assert_eq!(
+        findings,
+        std::fs::read_to_string(dir_b.join("fuzz_findings.jsonl")).expect("findings written"),
+        "two identical invocations wrote different findings"
+    );
+
+    // Two shard processes, then `fuzz merge` back into the unsharded
+    // bytes. Hex and decimal seeds must mean the same run.
+    let shard_dir = temp_dir("fuzz_shards");
+    let mut shard_paths = Vec::new();
+    for i in 0..2 {
+        let spec = format!("{i}/2");
+        let out = run_in(
+            &shard_dir,
+            &["fuzz", "--cases", "96", "--seed", "0x7", "--shard", &spec],
+        );
+        assert!(out.status.success(), "shard {spec}: {}", stderr_of(&out));
+        shard_paths.push(shard_dir.join(format!("fuzz_findings_shard{i}of2.jsonl")));
+    }
+    let merged_path = shard_dir.join("merged_findings.jsonl");
+    let mut merge = campaign_bin();
+    merge
+        .arg("fuzz")
+        .arg("merge")
+        .arg(&merged_path)
+        .args(&shard_paths);
+    let out = merge.output().expect("fuzz merge runs");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert_eq!(
+        std::fs::read_to_string(&merged_path).expect("merged findings"),
+        findings,
+        "sharded findings did not merge back into the unsharded bytes"
+    );
+
+    for dir in [&dir_a, &dir_b, &shard_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn fuzz_rejects_bad_arguments() {
+    let dir = temp_dir("fuzz_bad");
+    for bad in [
+        &["fuzz", "--seed", "not-a-seed"][..],
+        &["fuzz", "--cases", "many"],
+        &["fuzz", "--tolerance", "2.0"],
+        &["fuzz", "--shard", "3/2"],
+        &["fuzz", "--frobnicate"],
+        &["fuzz", "merge"],
+        &["fuzz", "merge", "out.jsonl"],
+    ] {
+        let out = run_in(&dir, bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?} was accepted");
+    }
+    assert!(!dir.exists(), "rejected fuzz runs must not write results");
+}
+
+#[test]
+fn fail_on_error_gates_run_and_merge() {
+    // A clean catalog campaign passes the gate.
+    let dir = temp_dir("fail_on_error_clean");
+    let out = run_in(
+        &dir,
+        &[
+            "--quick",
+            "--campaign",
+            "noise_robustness",
+            "--fail-on-error",
+        ],
+    );
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // An errored campaign fails it. The catalog has no error cells, so
+    // build shard streams of one through the lab API: a collapsed
+    // transaction-reset override under a heavy constant payload breaks
+    // the slot schedule into a typed `ChannelError` on every trial.
+    use ichannels_lab::campaigns::run_to_dir;
+    use ichannels_lab::scenario::{Knob, PayloadSpec};
+    use ichannels_lab::{Executor, Grid, RunConfig, ShardSpec};
+    let dir = temp_dir("fail_on_error_merge");
+    let grid = Grid::new()
+        .knobs(vec![Some(Knob::ResetTimeUs(0.001))])
+        .payloads(vec![PayloadSpec::Constant(3)])
+        .trials(2)
+        .payload_symbols(24);
+    let mut shard_paths = Vec::new();
+    for i in 0..2 {
+        let config = RunConfig {
+            shard: ShardSpec::new(i, 2).expect("valid shard"),
+            ..RunConfig::default()
+        };
+        let run = run_to_dir("errored", &grid, Executor::serial(), &dir, config)
+            .expect("errored campaign still streams");
+        assert!(run.rows.iter().any(|r| r.error.is_some()));
+        shard_paths.push(dir.join(format!("errored_shard{i}of2_trials.jsonl")));
+    }
+    let merged_dir = dir.join("merged");
+    let mut gated = campaign_bin();
+    gated
+        .arg("merge")
+        .arg("--fail-on-error")
+        .arg(&merged_dir)
+        .args(&shard_paths);
+    let out = gated.output().expect("merge runs");
+    assert!(
+        !out.status.success(),
+        "--fail-on-error must gate error cells"
+    );
+    let err = stderr_of(&out);
+    assert!(err.contains("--fail-on-error"), "{err}");
+    assert!(err.contains("errored"), "{err}");
+
+    // Without the flag the same merge succeeds and only reports.
+    let mut plain = campaign_bin();
+    plain.arg("merge").arg(&merged_dir).args(&shard_paths);
+    let out = plain.output().expect("merge runs");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("errored"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bench_records_a_perf_point_and_checks_regressions() {
     let dir = temp_dir("bench");
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -2,15 +2,18 @@
 //! uses. The build environment has no access to crates.io, so this local
 //! crate takes the `proptest` package name.
 //!
-//! It implements random-sampling property testing without shrinking:
-//! each `proptest!` test samples its strategies from a generator seeded
-//! deterministically from the test's module path, runs the body, and
-//! panics with the offending message on the first failed case. Supported
-//! surface: integer/float range strategies, tuples, `prop_map`,
-//! `prop_oneof!`, `any::<bool/integers>()`, `collection::vec`,
+//! It implements random-sampling property testing: each `proptest!` test
+//! samples its strategies from a generator seeded deterministically from
+//! the test's module path, runs the body, and panics with the offending
+//! message on the first failed case. Supported surface: integer/float
+//! range strategies, tuples, `prop_map`, `prop_oneof!`,
+//! `any::<bool/integers>()`, `collection::vec`,
 //! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
-//! `ProptestConfig::with_cases`.
+//! `ProptestConfig::with_cases`. Shrinking is provided as a standalone
+//! bounded deterministic loop in [`shrink`] rather than woven through the
+//! strategy tree.
 
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 

@@ -1,0 +1,192 @@
+//! Deterministic, bounded, smallest-first shrinking.
+//!
+//! Upstream proptest interleaves shrinking with its strategy tree; this
+//! stand-in keeps the two concerns separate. A caller that has a failing
+//! value hands it to [`shrink`] together with a *candidate enumerator*
+//! (which lists strictly-simpler variants, simplest first) and an oracle
+//! (does this variant still fail?). The loop greedily jumps to the first
+//! still-failing candidate and repeats until no candidate fails or the
+//! iteration budget is spent.
+//!
+//! Three properties make the result usable in a replayable findings
+//! report:
+//!
+//! - **smallest-first:** candidates are probed in the order the
+//!   enumerator yields them, so enumerators that list their simplest
+//!   variant first converge to it without exploring the rest;
+//! - **bounded:** at most `max_evals` oracle calls are made in total, so
+//!   a pathological enumerator (or an oracle that keeps flickering)
+//!   terminates instead of looping;
+//! - **deterministic:** the loop itself holds no randomness — the same
+//!   initial value, enumerator, and oracle always shrink to the same
+//!   minimum, byte for byte.
+
+/// Outcome of one bounded shrink run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkReport<T> {
+    /// The simplest value found that still fails the oracle.
+    pub minimal: T,
+    /// Number of accepted shrink steps (jumps to a simpler failing value).
+    pub steps: usize,
+    /// Total oracle evaluations spent, accepted or not.
+    pub evals: usize,
+    /// True when the loop stopped because the `max_evals` budget ran out
+    /// rather than because no candidate still failed. `minimal` is still
+    /// a valid failing value, just not necessarily a local minimum.
+    pub budget_exhausted: bool,
+}
+
+/// Shrinks `initial` — a value known to fail — toward a minimal failing
+/// value.
+///
+/// `candidates` must enumerate values strictly simpler than its argument,
+/// simplest first; returning an empty vector stops the search. `still_fails`
+/// is the oracle: `true` means the candidate reproduces the original
+/// failure. At most `max_evals` oracle calls are made.
+pub fn shrink<T, C, F>(
+    initial: T,
+    candidates: C,
+    mut still_fails: F,
+    max_evals: usize,
+) -> ShrinkReport<T>
+where
+    C: Fn(&T) -> Vec<T>,
+    F: FnMut(&T) -> bool,
+{
+    let mut current = initial;
+    let mut steps = 0usize;
+    let mut evals = 0usize;
+    loop {
+        let mut advanced = false;
+        for candidate in candidates(&current) {
+            if evals >= max_evals {
+                return ShrinkReport {
+                    minimal: current,
+                    steps,
+                    evals,
+                    budget_exhausted: true,
+                };
+            }
+            evals += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return ShrinkReport {
+                minimal: current,
+                steps,
+                evals,
+                budget_exhausted: false,
+            };
+        }
+    }
+}
+
+/// Smallest-first shrink candidates for an integer with a lower bound:
+/// the floor itself, then a bisection toward it, then the predecessor.
+/// Empty when `value` is already at the floor.
+pub fn integer_candidates(value: usize, floor: usize) -> Vec<usize> {
+    if value <= floor {
+        return Vec::new();
+    }
+    let mut out = vec![floor];
+    let mid = floor + (value - floor) / 2;
+    if mid != floor && mid != value {
+        out.push(mid);
+    }
+    let pred = value - 1;
+    if pred != floor && out.last() != Some(&pred) {
+        out.push(pred);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_integer_to_boundary() {
+        // Fails iff >= 17: the minimal failing value is exactly 17.
+        let report = shrink(
+            1000usize,
+            |&v| integer_candidates(v, 0),
+            |&v| v >= 17,
+            10_000,
+        );
+        assert_eq!(report.minimal, 17);
+        assert!(!report.budget_exhausted);
+    }
+
+    #[test]
+    fn smallest_first_jumps_straight_to_floor_when_it_fails() {
+        // Everything fails, so the very first candidate (the floor) is
+        // accepted in one step and one eval.
+        let report = shrink(64usize, |&v| integer_candidates(v, 4), |_| true, 10_000);
+        assert_eq!(report.minimal, 4);
+        assert_eq!(report.steps, 1);
+        assert_eq!(report.evals, 1);
+    }
+
+    #[test]
+    fn respects_eval_budget_on_pathological_enumerator() {
+        // An enumerator that always offers "one less" with an
+        // always-failing oracle would take `initial` evals to reach 0;
+        // the budget cuts it short but still returns a failing value.
+        let report = shrink(
+            1_000_000usize,
+            |&v| if v > 0 { vec![v - 1] } else { Vec::new() },
+            |_| true,
+            10,
+        );
+        assert_eq!(report.evals, 10);
+        assert_eq!(report.minimal, 1_000_000 - 10);
+        assert!(report.budget_exhausted);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            shrink(
+                (97usize, 31usize),
+                |&(a, b)| {
+                    let mut c: Vec<(usize, usize)> = integer_candidates(a, 0)
+                        .into_iter()
+                        .map(|a2| (a2, b))
+                        .collect();
+                    c.extend(integer_candidates(b, 0).into_iter().map(|b2| (a, b2)));
+                    c
+                },
+                |&(a, b)| a + b >= 40,
+                10_000,
+            )
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second);
+        assert_eq!(first.minimal.0 + first.minimal.1, 40);
+    }
+
+    #[test]
+    fn integer_candidates_are_strictly_smaller_and_sorted() {
+        for v in 1usize..200 {
+            for floor in 0..v {
+                let c = integer_candidates(v, floor);
+                assert!(!c.is_empty());
+                assert!(
+                    c.iter().all(|&x| x < v && x >= floor),
+                    "v={v} floor={floor} {c:?}"
+                );
+                assert!(
+                    c.windows(2).all(|w| w[0] < w[1]),
+                    "v={v} floor={floor} {c:?}"
+                );
+            }
+        }
+        assert!(integer_candidates(5, 5).is_empty());
+    }
+}

@@ -51,6 +51,14 @@ impl TestRng {
         TestRng(SmallRng::seed_from_u64(h))
     }
 
+    /// A generator seeded directly from `seed`. Two `TestRng`s built from
+    /// the same seed produce identical sample streams, which is what makes
+    /// externally driven fuzzing (seed recorded in a findings report)
+    /// replayable.
+    pub fn with_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
     /// Raw 64 random bits (used by integer `any`).
     pub fn next_raw(&mut self) -> u64 {
         self.0.next_u64()

@@ -249,6 +249,50 @@ fn validate_resume_stream(
     }
 }
 
+/// The resume bookkeeping and the reloaded stream disagreed: a slot
+/// that was counted as resumed has no row when it is laid back over
+/// the scenario list. The layout loop in [`run_to_dir`] makes this
+/// structurally unreachable, so hitting it means the in-memory state
+/// was corrupted mid-run — surfaced as a typed `InvalidData` error
+/// (downcastable from the `io::Error`) instead of a panic, with the
+/// recovery spelled out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeCorruption {
+    /// Campaign whose resume pass broke.
+    pub campaign: String,
+    /// Enumeration index (within this shard's slice) of the bad slot.
+    pub slot: usize,
+    /// Label of the trial whose resumed row went missing.
+    pub trial: String,
+}
+
+impl std::fmt::Display for ResumeCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign `{}` resume state is corrupt: trial `{}` (slot {}) was counted as \
+             resumed but its reloaded row is missing — delete the trial stream or rerun \
+             without --resume",
+            self.campaign, self.trial, self.slot
+        )
+    }
+}
+
+impl std::error::Error for ResumeCorruption {}
+
+/// Wraps a [`ResumeCorruption`] as the `InvalidData` I/O error
+/// [`run_to_dir`] propagates.
+fn resume_corruption(campaign: &str, slot: usize, trial: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        ResumeCorruption {
+            campaign: campaign.to_string(),
+            slot,
+            trial: trial.to_string(),
+        },
+    )
+}
+
 /// Keys the trial rows of a (possibly partial) campaign JSONL for
 /// resume. Header lines, truncated trailing lines, and any other
 /// unparseable content are skipped rather than failing — an
@@ -333,8 +377,10 @@ pub fn run_to_dir(
     // flushed) before executing anything, so a second interruption
     // never loses progress a first one already paid for.
     let prefix_end = todo_pos.first().copied().unwrap_or(scenarios.len());
-    for row in &rows[..prefix_end] {
-        let row = row.as_ref().expect("prefix rows are resumed");
+    for (i, row) in rows[..prefix_end].iter().enumerate() {
+        let row = row
+            .as_ref()
+            .ok_or_else(|| resume_corruption(name, i, &scenarios[i].label()))?;
         writer.write_row(&row.jsonl_row())?;
         if let Some(t) = ticker.as_mut() {
             t.record(row);
@@ -354,7 +400,9 @@ pub fn run_to_dir(
         let fresh = TrialRow::from_record(record);
         let result = (cursor..pos)
             .try_for_each(|k| {
-                let row = rows[k].as_ref().expect("rows before a todo are resumed");
+                let row = rows[k]
+                    .as_ref()
+                    .ok_or_else(|| resume_corruption(name, k, &scenarios[k].label()))?;
                 writer.write_row(&row.jsonl_row())?;
                 if let Some(t) = ticker.as_mut() {
                     t.record(row);
@@ -385,8 +433,9 @@ pub fn run_to_dir(
     }
     let rows: Vec<TrialRow> = rows
         .into_iter()
-        .map(|row| row.expect("every slot resumed or executed"))
-        .collect();
+        .enumerate()
+        .map(|(i, row)| row.ok_or_else(|| resume_corruption(name, i, &scenarios[i].label())))
+        .collect::<io::Result<_>>()?;
     for row in &rows[cursor..] {
         writer.write_row(&row.jsonl_row())?;
         if let Some(t) = ticker.as_mut() {
@@ -686,6 +735,22 @@ mod tests {
         assert_eq!(modulation_capacity(true).scenarios().len(), 12);
         // receiver_calibration: 3 platforms × 6 receivers × 1 kind.
         assert_eq!(receiver_calibration(true).scenarios().len(), 18);
+    }
+
+    #[test]
+    fn resume_corruption_is_typed_and_actionable() {
+        let err = resume_corruption("unit", 3, "cannon_lake/IccThreadCovert/quiet/t00");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("slot 3"), "{msg}");
+        assert!(msg.contains("rerun without --resume"), "{msg}");
+        let inner = err
+            .into_inner()
+            .expect("carries a source")
+            .downcast::<ResumeCorruption>()
+            .expect("downcasts to the typed error");
+        assert_eq!(inner.campaign, "unit");
+        assert_eq!(inner.slot, 3);
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {

@@ -1,0 +1,325 @@
+//! `campaign fuzz`: the randomized-scenario anomaly hunter.
+//!
+//! The harness samples thousands of randomized [`Scenario`]s across
+//! every lab axis ([`gen`]), runs each through the existing trial
+//! pipeline on the shared [`Executor`] pool, and judges the result
+//! against the load-line/guard-band model and the engine invariants
+//! ([`oracle`]). Flagged cases are shrunk to minimal reproducers with
+//! the proptest stand-in's bounded deterministic shrinker and emitted
+//! as a replayable findings report ([`findings`]) — each row converts
+//! mechanically into a pinned characterization test (see
+//! `tests/fuzz_characterization.rs` for the loop closed once).
+//!
+//! Determinism contract: a fuzz run is a pure function of
+//! `(seed, cases, tolerance)`. Case sampling depends only on
+//! `(seed, case_index)`, judging and shrinking only on the sampled
+//! scenario, and findings are emitted in case-index order — so the
+//! rendered report is byte-identical across runs, worker counts, and
+//! shard splits (shards own case indices round-robin and merge by
+//! sorting on the case column).
+
+pub mod findings;
+pub mod gen;
+pub mod oracle;
+
+use proptest::shrink::{integer_candidates, shrink};
+
+use crate::exec::Executor;
+use crate::scenario::{
+    AlphabetSpec, ChannelSelect, NoiseSpec, PayloadSpec, PlatformId, ReceiverSpec, Scenario,
+};
+use crate::shard::ShardSpec;
+use findings::Finding;
+use ichannels::channel::ChannelKind;
+use oracle::{Anomaly, Oracle};
+
+/// Parameters of one fuzz run — everything the report depends on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzConfig {
+    /// Base seed; every case derives from `(seed, case_index)`.
+    pub seed: u64,
+    /// Number of cases to sample across all shards.
+    pub cases: u64,
+    /// Base tolerance of the anomaly oracle's envelopes.
+    pub tolerance: f64,
+    /// Which round-robin slice of case indices this process runs.
+    pub shard: ShardSpec,
+    /// Oracle-evaluation budget per finding for the shrinker.
+    pub max_shrink_evals: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0xF0552,
+            cases: 1024,
+            tolerance: Oracle::default().tolerance,
+            shard: ShardSpec::full(),
+            max_shrink_evals: 48,
+        }
+    }
+}
+
+/// The outcome of one fuzz run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// The configuration that produced it.
+    pub config: FuzzConfig,
+    /// Cases this shard actually ran.
+    pub cases_run: usize,
+    /// Shrunk findings, in case-index order.
+    pub findings: Vec<Finding>,
+}
+
+impl FuzzReport {
+    /// Renders the findings as the `fuzz_findings.jsonl` document.
+    pub fn to_jsonl(&self) -> String {
+        findings::findings_to_jsonl(&self.findings)
+    }
+}
+
+/// Runs the fuzz campaign: sample → judge (on the executor pool) →
+/// shrink (serially, in case order, so the report is deterministic for
+/// any worker count).
+pub fn run(config: &FuzzConfig, executor: &Executor) -> FuzzReport {
+    let oracle = Oracle::new(config.tolerance);
+    let owned: Vec<u64> = (0..config.cases)
+        .filter(|&i| config.shard.owns(i as usize))
+        .collect();
+    let flagged: Vec<Option<(u64, Scenario, Anomaly)>> = executor.map(&owned, |&case| {
+        let s = gen::sample_scenario(config.seed, case);
+        oracle.judge(&s).map(|a| (case, s, a))
+    });
+    ichannels_obs::counter_add("fuzz.cases", owned.len() as u64);
+    let findings: Vec<Finding> = flagged
+        .into_iter()
+        .flatten()
+        .map(|(case, scenario, anomaly)| {
+            shrink_to_finding(config, &oracle, case, &scenario, &anomaly)
+        })
+        .collect();
+    ichannels_obs::counter_add("fuzz.findings", findings.len() as u64);
+    FuzzReport {
+        config: *config,
+        cases_run: owned.len(),
+        findings,
+    }
+}
+
+/// Re-derives the canonical trial seed after a shrink edit changed the
+/// cell key, and keeps only supported variants.
+fn reseeded(base_seed: u64, mut s: Scenario) -> Option<Scenario> {
+    if !s.supported() {
+        return None;
+    }
+    s.seed = gen::cell_seed(base_seed, &s);
+    Some(s)
+}
+
+/// Shrink candidates for one scenario, simplest first: structural
+/// drops (app, knob, mitigations, noise, frequency, receiver, payload
+/// shape, alphabet, channel kind, platform) ahead of numeric
+/// reductions (payload symbols, calibration reps). Every candidate is
+/// strictly simpler, stays supported, and carries its own cell-derived
+/// seed.
+fn shrink_candidates(base_seed: u64, s: &Scenario) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = Vec::new();
+    let mut push = |candidate: Scenario| {
+        if let Some(c) = reseeded(base_seed, candidate) {
+            out.push(c);
+        }
+    };
+    if s.app.is_some() {
+        let mut c = s.clone();
+        c.app = None;
+        push(c);
+    }
+    if s.knob.is_some() {
+        let mut c = s.clone();
+        c.knob = None;
+        push(c);
+    }
+    if !s.mitigations.is_empty() {
+        if s.mitigations.len() > 1 {
+            let mut c = s.clone();
+            c.mitigations.clear();
+            push(c);
+        }
+        for i in 0..s.mitigations.len() {
+            let mut c = s.clone();
+            c.mitigations.remove(i);
+            push(c);
+        }
+    }
+    if s.noise != NoiseSpec::Quiet {
+        let mut c = s.clone();
+        c.noise = NoiseSpec::Quiet;
+        push(c);
+    }
+    if s.freq_ghz.is_some() {
+        let mut c = s.clone();
+        c.freq_ghz = None;
+        push(c);
+    }
+    if !s.receiver.is_default() {
+        let mut c = s.clone();
+        c.receiver = ReceiverSpec::Calibrated;
+        push(c);
+    }
+    if s.payload != PayloadSpec::Random {
+        let mut c = s.clone();
+        c.payload = PayloadSpec::Random;
+        push(c);
+    }
+    match s.channel {
+        ChannelSelect::MultiLevel(kind, AlphabetSpec::Full7) => {
+            let mut c = s.clone();
+            c.channel = ChannelSelect::MultiLevel(kind, AlphabetSpec::Phi6);
+            push(c);
+        }
+        ChannelSelect::MultiLevel(kind, AlphabetSpec::Phi6) => {
+            let mut c = s.clone();
+            c.channel = ChannelSelect::MultiLevel(kind, AlphabetSpec::Paper4);
+            push(c);
+        }
+        _ => {}
+    }
+    let kind = match s.channel {
+        ChannelSelect::Icc(k) | ChannelSelect::MultiLevel(k, _) => Some(k),
+        _ => None,
+    };
+    if let Some(k) = kind {
+        if k != ChannelKind::Thread {
+            let mut c = s.clone();
+            c.channel = match s.channel {
+                ChannelSelect::Icc(_) => ChannelSelect::Icc(ChannelKind::Thread),
+                ChannelSelect::MultiLevel(_, a) => {
+                    ChannelSelect::MultiLevel(ChannelKind::Thread, a)
+                }
+                other => other,
+            };
+            push(c);
+        }
+    }
+    if s.platform != PlatformId::CannonLake {
+        // Cannon Lake supports all three channel kinds (2C/4T SMT),
+        // so the move is always a candidate; platform-specific
+        // anomalies simply reject it.
+        let mut c = s.clone();
+        c.platform = PlatformId::CannonLake;
+        push(c);
+    }
+    for symbols in integer_candidates(s.payload_symbols, 4) {
+        let mut c = s.clone();
+        c.payload_symbols = symbols;
+        push(c);
+    }
+    for reps in integer_candidates(s.calib_reps, 1) {
+        let mut c = s.clone();
+        c.calib_reps = reps;
+        push(c);
+    }
+    out
+}
+
+/// Shrinks one flagged case to a minimal reproducer and renders the
+/// finding row. The shrink oracle accepts a candidate only when it
+/// still shows the *same anomaly kind*, so every accepted step keeps
+/// the finding's class while simplifying its cell.
+fn shrink_to_finding(
+    config: &FuzzConfig,
+    oracle: &Oracle,
+    case: u64,
+    scenario: &Scenario,
+    anomaly: &Anomaly,
+) -> Finding {
+    let kind = anomaly.kind;
+    let mut last: Option<Anomaly> = None;
+    let report = shrink(
+        scenario.clone(),
+        |s| shrink_candidates(config.seed, s),
+        |candidate| match oracle.judge(candidate) {
+            Some(a) if a.kind == kind => {
+                last = Some(a);
+                true
+            }
+            _ => false,
+        },
+        config.max_shrink_evals,
+    );
+    // The anomaly at the minimal scenario: the last accepted one, or
+    // the original when no candidate was accepted.
+    let minimal_anomaly = if report.steps > 0 {
+        last.expect("accepted steps recorded an anomaly")
+    } else {
+        anomaly.clone()
+    };
+    Finding {
+        case,
+        seed: config.seed,
+        kind: kind.label().to_string(),
+        cell: scenario.cell_key(),
+        cell_seed: scenario.seed,
+        measured: anomaly.measured,
+        allowed: anomaly.allowed,
+        shrunk_cell: report.minimal.cell_key(),
+        shrunk_seed: report.minimal.seed,
+        shrunk_symbols: report.minimal.payload_symbols as u64,
+        shrunk_measured: minimal_anomaly.measured,
+        shrunk_allowed: minimal_anomaly.allowed,
+        shrink_steps: report.steps as u64,
+        shrink_evals: report.evals as u64,
+        detail: minimal_anomaly.detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_candidates_are_supported_and_reseeded() {
+        let s = gen::sample_scenario(0xF0552, 5);
+        for c in shrink_candidates(0xF0552, &s) {
+            assert!(c.supported(), "unsupported candidate {}", c.label());
+            assert_eq!(c.seed, gen::cell_seed(0xF0552, &c));
+            // calib_reps is not part of the cell key, so compare the
+            // whole scenario: every candidate must be a real edit.
+            let mut c_like_s = c.clone();
+            c_like_s.seed = s.seed;
+            assert_ne!(c_like_s, s, "candidate did not simplify");
+        }
+    }
+
+    /// Envelope-calibration sweep: run `cargo test -p ichannels-lab
+    /// calibration_sweep --release -- --ignored --nocapture` to print
+    /// every finding a seed produces. Not part of the suite — the
+    /// envelope constants in [`oracle`] were tuned against its output.
+    #[test]
+    #[ignore = "manual envelope calibration harness"]
+    fn calibration_sweep() {
+        let config = FuzzConfig {
+            cases: 2048,
+            ..FuzzConfig::default()
+        };
+        let report = run(&config, &Executor::auto());
+        println!(
+            "{} cases, {} findings",
+            report.cases_run,
+            report.findings.len()
+        );
+        println!("{}", report.to_jsonl());
+    }
+
+    #[test]
+    fn empty_shard_produces_an_empty_report() {
+        let config = FuzzConfig {
+            cases: 0,
+            ..FuzzConfig::default()
+        };
+        let report = run(&config, &Executor::serial());
+        assert_eq!(report.cases_run, 0);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.to_jsonl(), "");
+    }
+}

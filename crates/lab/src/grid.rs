@@ -14,8 +14,11 @@ use crate::scenario::{
     mix, AppSpec, ChannelSelect, Knob, NoiseSpec, PayloadSpec, PlatformId, ReceiverSpec, Scenario,
 };
 
-/// FNV-1a over a string, for stable per-cell seed derivation.
-fn fnv1a(s: &str) -> u64 {
+/// FNV-1a over a string, for stable per-cell seed derivation (shared
+/// with the fuzz harness, which derives trial seeds by the same
+/// cell-key rule so a shrunk reproducer runs exactly the trial a grid
+/// sweep of that cell would run).
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for b in s.bytes() {
         h ^= u64::from(b);

@@ -62,14 +62,16 @@
 
 pub mod campaigns;
 pub mod exec;
+pub mod fuzz;
 pub mod grid;
 pub mod report;
 pub mod scenario;
 pub mod shard;
 pub mod trace;
 
-pub use campaigns::{CampaignReport, CampaignRun, MergedCampaign, RunConfig};
+pub use campaigns::{CampaignReport, CampaignRun, MergedCampaign, ResumeCorruption, RunConfig};
 pub use exec::Executor;
+pub use fuzz::{FuzzConfig, FuzzReport};
 pub use grid::{AxisSummary, Grid};
 pub use report::{CellSummary, TrialMetrics, TrialRecord, TrialRow};
 pub use scenario::{

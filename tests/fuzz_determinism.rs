@@ -1,0 +1,83 @@
+//! Replay determinism of the fuzz harness: a findings report is a pure
+//! function of `(seed, cases, tolerance)`. These tests pin the three
+//! equalities the `fuzz_findings.jsonl` contract promises — identical
+//! bytes across repeated runs, across worker counts, and across shard
+//! splits merged back together — on a seed known to produce at least
+//! one finding, so the equalities cover real shrunk rows and not just
+//! empty reports.
+
+use ichannels_repro::ichannels_lab::fuzz::{self, findings};
+use ichannels_repro::ichannels_lab::{Executor, FuzzConfig, ShardSpec};
+
+/// Seed 7 flags (at least) one case within the first 64 — small enough
+/// to keep this suite fast, real enough that the byte comparisons
+/// exercise sampling, judging, and shrinking end to end.
+fn config() -> FuzzConfig {
+    FuzzConfig {
+        seed: 7,
+        cases: 96,
+        ..FuzzConfig::default()
+    }
+}
+
+#[test]
+fn findings_bytes_are_identical_across_runs_and_worker_counts() {
+    let serial = fuzz::run(&config(), &Executor::serial());
+    assert!(
+        !serial.findings.is_empty(),
+        "seed 7 stopped producing findings in 96 cases — if the envelope moved \
+         deliberately, re-pick a seeded finding for this suite"
+    );
+    let again = fuzz::run(&config(), &Executor::serial());
+    let parallel = fuzz::run(&config(), &Executor::new(4));
+    assert_eq!(
+        serial.to_jsonl(),
+        again.to_jsonl(),
+        "two identical runs rendered different findings"
+    );
+    assert_eq!(
+        serial.to_jsonl(),
+        parallel.to_jsonl(),
+        "worker count leaked into the findings bytes"
+    );
+    assert_eq!(serial.cases_run, parallel.cases_run);
+}
+
+#[test]
+fn sharded_findings_merge_back_into_the_unsharded_bytes() {
+    let full = fuzz::run(&config(), &Executor::new(2));
+    let mut all = Vec::new();
+    let mut cases_run = 0;
+    for index in 0..3 {
+        let sharded = FuzzConfig {
+            shard: ShardSpec::new(index, 3).expect("valid shard"),
+            ..config()
+        };
+        let report = fuzz::run(&sharded, &Executor::new(2));
+        cases_run += report.cases_run;
+        all.extend(report.findings);
+    }
+    assert_eq!(cases_run, full.cases_run, "shards must partition the cases");
+    let merged = findings::merge_findings(all);
+    assert_eq!(
+        findings::findings_to_jsonl(&merged),
+        full.to_jsonl(),
+        "3-way shard split did not merge back into the unsharded report"
+    );
+}
+
+#[test]
+fn findings_rows_replay_their_sampled_scenario() {
+    // Every row's `(seed, case)` regenerates the sampled scenario whose
+    // cell and derived trial seed the row recorded — the property that
+    // makes a findings file replayable without the run that wrote it.
+    let report = fuzz::run(&config(), &Executor::new(2));
+    for f in &report.findings {
+        let replayed = fuzz::gen::sample_scenario(f.seed, f.case);
+        assert_eq!(replayed.cell_key(), f.cell, "case {}", f.case);
+        assert_eq!(replayed.seed, f.cell_seed, "case {}", f.case);
+        let line = f.jsonl_row().to_json();
+        let reparsed = findings::Finding::parse(&line).expect("row parses back");
+        assert_eq!(&reparsed, f, "row does not round-trip");
+    }
+}
