@@ -1,0 +1,173 @@
+//! Order statistics over finite `f64` samples: the shared core the
+//! `criterion` stand-in's `Duration` stats delegate to and the per-cell
+//! campaign summaries build on.
+//!
+//! Percentiles are **nearest-rank** (`rank(p) = ⌈p/100·n⌉`, 1-based) —
+//! the convention the bench harness has always printed — and the
+//! standard deviation is the sample (n−1) form. Unlike
+//! [`ichannels_meter::stats::summarize`], which panics on bad input
+//! mid-benchmark, this entry point returns a typed error so streaming
+//! consumers can reject a poisoned series without unwinding.
+
+/// Why a sample series cannot be summarized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// The series is empty.
+    Empty,
+    /// The series contains a NaN or infinity at the given index.
+    NonFinite {
+        /// Index of the first non-finite sample.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "no samples to summarize"),
+            StatsError::NonFinite { index } => {
+                write!(f, "non-finite sample at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Summary statistics of one finite sample series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; `0` for n < 2).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Nearest-rank median.
+    pub median: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted series:
+/// `sorted[⌈p/100·n⌉ - 1]`, clamped to the series.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "no samples to summarize");
+    let idx = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}
+
+/// Summarizes a sample series: mean, sample standard deviation,
+/// min/median/p95/max with nearest-rank percentiles.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty series and
+/// [`StatsError::NonFinite`] if any sample is NaN or infinite — a
+/// NaN would silently poison every moment, so it is rejected rather
+/// than propagated.
+pub fn summarize_samples(samples: &[f64]) -> Result<Stats, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if let Some(index) = samples.iter().position(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite { index });
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let variance = if n < 2 {
+        0.0
+    } else {
+        sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    };
+    Ok(Stats {
+        n,
+        mean,
+        std_dev: variance.sqrt(),
+        min: sorted[0],
+        median: percentile_nearest_rank(&sorted, 50.0),
+        p95: percentile_nearest_rank(&sorted, 95.0),
+        max: sorted[n - 1],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_a_typed_error() {
+        assert_eq!(summarize_samples(&[]), Err(StatsError::Empty));
+        assert_eq!(StatsError::Empty.to_string(), "no samples to summarize");
+    }
+
+    #[test]
+    fn single_sample_degenerates_cleanly() {
+        let s = summarize_samples(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_spread() {
+        let s = summarize_samples(&[3.25; 9]).unwrap();
+        assert_eq!(s.n, 9);
+        assert_eq!(s.mean, 3.25);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.median, s.p95, s.max), (3.25, 3.25, 3.25, 3.25));
+    }
+
+    #[test]
+    fn nan_and_infinity_are_rejected_with_position() {
+        assert_eq!(
+            summarize_samples(&[1.0, f64::NAN, 2.0]),
+            Err(StatsError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            summarize_samples(&[f64::INFINITY]),
+            Err(StatsError::NonFinite { index: 0 })
+        );
+        assert_eq!(
+            summarize_samples(&[0.0, 1.0, f64::NEG_INFINITY]),
+            Err(StatsError::NonFinite { index: 2 })
+        );
+    }
+
+    #[test]
+    fn matches_the_historical_bench_convention() {
+        // 1..=20: mean 10.5, nearest-rank median 10, p95 19, sample
+        // stddev √35 — the exact numbers the criterion stand-in's own
+        // unit test pins.
+        let samples: Vec<f64> = (1..=20).map(f64::from).collect();
+        let s = summarize_samples(&samples).unwrap();
+        assert_eq!(s.mean, 10.5);
+        assert_eq!(s.median, 10.0);
+        assert_eq!(s.p95, 19.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 20.0);
+        assert!((s.std_dev - 35.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = summarize_samples(&[5.0, 1.0, 3.0]).unwrap();
+        let b = summarize_samples(&[3.0, 5.0, 1.0]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.median, 3.0);
+    }
+}

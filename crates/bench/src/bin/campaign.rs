@@ -15,6 +15,7 @@
 //! campaign fuzz merge <out.jsonl> <shard_findings.jsonl>...
 //! campaign profile [--campaign NAME|all] [--quick] [--threads N]
 //! campaign telemetry <out.json> <telemetry.json>...
+//! campaign analyze [--json] [--seed S] [--resamples B] <dir>
 //! ```
 //!
 //! Campaigns: `client_vs_server`, `noise_robustness`,
@@ -47,6 +48,15 @@
 //! `--check` compares the cache-on wall-clock against a recorded
 //! baseline and fails on a >2× regression.
 //!
+//! `analyze` runs the `ichannels-analysis` statistics layer over every
+//! `<name>_trials.jsonl` stream in a directory (an unsharded results
+//! dir or a `campaign merge` output dir — lone shard streams are
+//! rejected with a pointer to `merge`) and writes the per-cell /
+//! per-axis capacity and error-rate report to `<dir>/analysis.jsonl`;
+//! the bytes depend only on the trial-row set and the analysis
+//! configuration (see `docs/METHODOLOGY.md`). `--json` echoes the
+//! report to stdout.
+//!
 //! Observability (all strictly out-of-band — artifacts are
 //! byte-identical with every flag on or off): `--telemetry DIR` runs
 //! with the `ichannels-obs` layer enabled and writes the merged
@@ -63,6 +73,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use ichannels::channel::calibration;
+use ichannels_analysis::AnalysisConfig;
 use ichannels_lab::campaigns::{self, RunConfig};
 use ichannels_lab::fuzz::{self, findings};
 use ichannels_lab::{Executor, FuzzConfig, Grid, Scenario, ShardSpec};
@@ -91,6 +102,7 @@ fn usage_text() -> String {
          \x20      campaign fuzz merge <out.jsonl> <shard_findings.jsonl>...\n\
          \x20      campaign profile [--campaign NAME|all] [--quick] [--threads N]\n\
          \x20      campaign telemetry <out.json> <telemetry.json>...\n\
+         \x20      campaign analyze [--json] [--seed S] [--resamples B] <dir>\n\
          campaigns: {}",
         campaign_names()
     )
@@ -625,7 +637,96 @@ fn telemetry_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Parses a fuzz seed: decimal or `0x`-prefixed hex.
+fn analyze_main(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut config = AnalysisConfig::default();
+    let mut dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--seed" => match iter.next().and_then(|v| parse_seed(v)) {
+                Some(seed) => config.seed = seed,
+                None => return usage(),
+            },
+            "--resamples" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.resamples = n,
+                None => return usage(),
+            },
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unknown analyze argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("analyze needs a directory of <name>_trials.jsonl streams");
+        return usage();
+    };
+
+    // Every `<name>_trials.jsonl` in the directory, in name order, so
+    // the report's campaign order (and its bytes) never depends on
+    // directory enumeration order.
+    let mut streams: Vec<(String, PathBuf)> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .filter_map(|entry| {
+                let name = entry.file_name().into_string().ok()?;
+                let campaign = name.strip_suffix("_trials.jsonl")?;
+                Some((campaign.to_string(), entry.path()))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    streams.sort();
+    if streams.is_empty() {
+        eprintln!(
+            "analyze {}: no <name>_trials.jsonl streams found — point it at an \
+             unsharded results directory or a `campaign merge` output directory",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut document = String::new();
+    for (campaign, path) in &streams {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let analysis = match ichannels_analysis::analyze_stream(campaign, &text, config) {
+            Ok(analysis) => analysis,
+            Err((line, e)) => {
+                eprintln!("{}:{line}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = analysis.finish();
+        ichannels_bench::print_analysis_summary(&report);
+        document.push_str(&report.to_jsonl());
+    }
+
+    let out = dir.join("analysis.jsonl");
+    if let Err(e) = std::fs::write(&out, &document) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    if json {
+        print!("{document}");
+    }
+    println!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// Parses a seed argument (`fuzz --seed`, `analyze --seed`): decimal
+/// or `0x`-prefixed hex.
 fn parse_seed(s: &str) -> Option<u64> {
     match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         Some(hex) => u64::from_str_radix(hex, 16).ok(),
@@ -780,6 +881,7 @@ fn main() -> ExitCode {
         Some("bench") => return bench_main(&args[1..]),
         Some("profile") => return profile_main(&args[1..]),
         Some("telemetry") => return telemetry_main(&args[1..]),
+        Some("analyze") => return analyze_main(&args[1..]),
         _ => {}
     }
     let mut which = "all".to_string();

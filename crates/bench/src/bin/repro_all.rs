@@ -11,9 +11,16 @@
 //! `campaign merge` from a sharded CI matrix) is **not** re-simulated:
 //! its trial/cell CSVs are re-derived from the stream instead, which
 //! is byte-identical to running the campaign here.
+//!
+//! After the campaigns, an analysis stage runs the
+//! `ichannels-analysis` statistics layer over every campaign's trial
+//! stream (merged or locally produced) and writes
+//! `results/analysis.jsonl` — the same report `campaign analyze`
+//! produces, byte for byte (see `docs/METHODOLOGY.md`).
 
 use std::process::ExitCode;
 
+use ichannels_analysis::AnalysisConfig;
 use ichannels_lab::campaigns;
 use ichannels_lab::report::summarize_rows;
 use ichannels_lab::Executor;
@@ -58,12 +65,14 @@ fn main() -> ExitCode {
     figs::ablation::run(quick);
 
     let results_dir = ichannels_bench::results_dir();
+    let mut trial_streams: Vec<(&str, std::path::PathBuf)> = Vec::new();
     for (name, grid) in campaigns::catalog(quick) {
         let merged = merged_dir
             .as_ref()
             .map(|dir| dir.join(format!("{name}_trials.jsonl")))
             .filter(|p| p.exists());
         if let Some(stream) = merged {
+            trial_streams.push((name, stream.clone()));
             ichannels_bench::banner(&format!(
                 "campaign {name}: consuming merged stream {}",
                 stream.display()
@@ -129,8 +138,38 @@ fn main() -> ExitCode {
                 eprintln!("  FAILED to run campaign {name}: {e}");
                 return ExitCode::FAILURE;
             }
+            trial_streams.push((name, results_dir.join(format!("{name}_trials.jsonl"))));
         }
     }
+
+    ichannels_bench::banner("campaign analysis");
+    let mut document = String::new();
+    for (name, stream) in &trial_streams {
+        let text = match std::fs::read_to_string(stream) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("  FAILED to read {}: {e}", stream.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let analysis =
+            match ichannels_analysis::analyze_stream(name, &text, AnalysisConfig::default()) {
+                Ok(analysis) => analysis,
+                Err((line, e)) => {
+                    eprintln!("  FAILED: {}:{line}: {e}", stream.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+        let report = analysis.finish();
+        ichannels_bench::print_analysis_summary(&report);
+        document.push_str(&report.to_jsonl());
+    }
+    let analysis_path = results_dir.join("analysis.jsonl");
+    if let Err(e) = std::fs::write(&analysis_path, &document) {
+        eprintln!("  FAILED to write {}: {e}", analysis_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote {}", analysis_path.display());
 
     println!();
     println!(

@@ -51,3 +51,40 @@ pub fn banner(title: &str) {
     println!();
     println!("==== {title} ====");
 }
+
+/// The per-campaign one-liner `campaign analyze` and the `repro_all`
+/// analysis stage print: trial/cell counts, the pooled error rate with
+/// its bootstrap CI, the mean model capacity, and the most sensitive
+/// grid axis.
+pub fn print_analysis_summary(report: &ichannels_analysis::CampaignAnalysis) {
+    print!(
+        "{}: {} trial(s), {} cell(s), {} errored",
+        report.campaign,
+        report.trials,
+        report.cells.len(),
+        report.errored
+    );
+    if let (Some(stats), Some(ci)) = (&report.error_rate.stats, &report.error_rate.ci) {
+        print!(
+            "; error rate {:.4} [{:.4}, {:.4}]",
+            stats.mean, ci.lo, ci.hi
+        );
+    }
+    if let Some(capacity) = report.capacity_model_mean_bits_per_symbol {
+        print!("; model capacity {capacity:.3} bits/symbol");
+    }
+    println!();
+    if let Some(top) = report.sensitivity.first() {
+        println!(
+            "  most sensitive axis: {} (error-rate range {:.4} across {} value(s): \
+             {} {:.4} .. {} {:.4})",
+            top.axis,
+            top.range,
+            top.values,
+            top.min_value,
+            top.min_mean,
+            top.max_value,
+            top.max_mean
+        );
+    }
+}

@@ -94,30 +94,28 @@ pub struct Stats {
 /// Summarizes sample durations: mean, median, sample standard
 /// deviation, 95th percentile (nearest-rank), and best.
 ///
+/// The statistics themselves live in
+/// [`ichannels_analysis::stats::summarize_samples`] — the shared f64
+/// core this stand-in's seed grew into — and this wrapper only maps
+/// `Duration` nanoseconds through it. Order statistics (median, p95,
+/// best) round-trip exactly: integer nanoseconds are lossless in f64
+/// at benchmark time scales.
+///
 /// # Panics
 ///
 /// Panics if `samples` is empty.
 pub fn summarize_samples(samples: &[Duration]) -> Stats {
     assert!(!samples.is_empty(), "no samples to summarize");
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let nanos: Vec<f64> = sorted.iter().map(Duration::as_nanos_f64).collect();
-    let mean = nanos.iter().sum::<f64>() / nanos.len() as f64;
-    let variance = if nanos.len() < 2 {
-        0.0
-    } else {
-        nanos.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (nanos.len() - 1) as f64
-    };
-    let rank = |p: f64| {
-        let idx = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-        sorted[idx.clamp(1, sorted.len()) - 1]
-    };
+    let nanos: Vec<f64> = samples.iter().map(Duration::as_nanos_f64).collect();
+    let s =
+        ichannels_analysis::stats::summarize_samples(&nanos).expect("duration samples are finite");
+    let duration = |ns: f64| Duration::from_nanos(ns.round() as u64);
     Stats {
-        mean: Duration::from_nanos(mean.round() as u64),
-        median: rank(50.0),
-        std_dev: Duration::from_nanos(variance.sqrt().round() as u64),
-        p95: rank(95.0),
-        best: sorted[0],
+        mean: duration(s.mean),
+        median: duration(s.median),
+        std_dev: duration(s.std_dev),
+        p95: duration(s.p95),
+        best: duration(s.min),
     }
 }
 

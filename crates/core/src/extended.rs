@@ -102,7 +102,8 @@ pub struct ExtendedEval {
 
 /// A multi-level covert channel over an arbitrary alphabet.
 ///
-/// Internally reuses [`IChannel`]'s transaction machinery by mapping
+/// Internally reuses [`crate::channel::IChannel`]'s transaction
+/// machinery by mapping
 /// each alphabet level onto a dedicated single-symbol run; the
 /// calibration stores one mean per level.
 #[derive(Debug, Clone)]

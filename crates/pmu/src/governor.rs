@@ -27,7 +27,7 @@ pub enum Governor {
     Ondemand {
         /// Governor sampling period (Linux default ~10 ms).
         sampling_period: SimTime,
-        /// Load threshold ∈ [0,1] above which the governor jumps to max.
+        /// Load threshold ∈ \[0,1\] above which the governor jumps to max.
         up_threshold: f64,
     },
 }
@@ -42,11 +42,11 @@ impl Governor {
     }
 
     /// The frequency this governor requests, given the P-state table and
-    /// the measured load ∈ [0,1] over the last sampling period.
+    /// the measured load ∈ \[0,1\] over the last sampling period.
     ///
     /// # Panics
     ///
-    /// Panics if `load` is outside [0,1].
+    /// Panics if `load` is outside \[0,1\].
     pub fn requested_freq(&self, table: &PStateTable, load: f64) -> Freq {
         assert!((0.0..=1.0).contains(&load), "load must be in [0,1]: {load}");
         match self {

@@ -1,6 +1,6 @@
 //! Agner-Fog-style measured instruction loops (paper §5.1).
 //!
-//! The paper's characterization "customize[s] multiple micro-benchmarks
+//! The paper's characterization "customize\[s\] multiple micro-benchmarks
 //! of the Agner Fog measurement library": tight register-only loops of a
 //! chosen instruction class, timed with `rdtsc`. [`MeasuredLoop`] is that
 //! micro-benchmark as a simulator [`Program`]: it runs a loop `reps`

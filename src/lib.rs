@@ -15,12 +15,16 @@
 //! * [`ichannels_workload`] — measured loops, phase programs, apps;
 //! * [`ichannels_meter`] — the DAQ model and statistics;
 //! * [`ichannels_obs`] — the deterministic-safe telemetry layer
-//!   (metrics registry, phase spans, mergeable snapshots).
+//!   (metrics registry, phase spans, mergeable snapshots);
+//! * [`ichannels_analysis`] — streaming capacity statistics over
+//!   campaign trial streams (bootstrap CIs, model capacity, axis
+//!   sensitivity).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
 
 pub use ichannels;
+pub use ichannels_analysis;
 pub use ichannels_lab;
 pub use ichannels_meter;
 pub use ichannels_obs;
