@@ -60,7 +60,7 @@ pub fn bootstrap_mean_ci(
             .sum();
         means.push(sum / samples.len() as f64);
     }
-    means.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    means.sort_unstable_by(f64::total_cmp);
     Some(BootstrapCi {
         lo: percentile_nearest_rank(&means, 100.0 * alpha / 2.0),
         hi: percentile_nearest_rank(&means, 100.0 * (1.0 - alpha / 2.0)),

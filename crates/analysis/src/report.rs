@@ -193,14 +193,8 @@ impl AxisSensitivity {
                     .map(|s| (v.value.as_str(), s.mean))
             })
             .collect();
-        let (min_value, min_mean) = defined
-            .iter()
-            .copied()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"))?;
-        let (max_value, max_mean) = defined
-            .iter()
-            .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"))?;
+        let (min_value, min_mean) = defined.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1))?;
+        let (max_value, max_mean) = defined.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))?;
         Some(AxisSensitivity {
             axis: axis.to_string(),
             values: defined.len(),

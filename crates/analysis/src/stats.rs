@@ -82,7 +82,7 @@ pub fn summarize_samples(samples: &[f64]) -> Result<Stats, StatsError> {
         return Err(StatsError::NonFinite { index });
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_unstable_by(f64::total_cmp);
     let n = sorted.len();
     let mean = sorted.iter().sum::<f64>() / n as f64;
     let variance = if n < 2 {

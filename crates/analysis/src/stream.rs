@@ -384,11 +384,7 @@ impl Analysis {
         }
         // Most-sensitive axis first; ties fall back to the fixed axis
         // order (stable sort), keeping the ranking deterministic.
-        sensitivity.sort_by(|a, b| {
-            b.range
-                .partial_cmp(&a.range)
-                .expect("finite sensitivity ranges")
-        });
+        sensitivity.sort_by(|a, b| b.range.total_cmp(&a.range));
 
         CampaignAnalysis {
             campaign: self.campaign.clone(),

@@ -385,10 +385,14 @@ fn bench_main(args: &[String]) -> ExitCode {
     // Medians: one preempted sample in a noisy container must not
     // define the recorded perf point.
     let speedup = off.median.as_secs_f64() / on.median.as_secs_f64();
+    // lint:allow(D004): human-facing stdout progress only; the
+    // recorded perf point below renders durations as integer ns.
     println!(
         "  cache-off: median {:?}, mean {:?}, p95 {:?} ({trainings_off} trainings/run)",
         off.median, off.mean, off.p95
     );
+    // lint:allow(D004): human-facing stdout progress only; the
+    // recorded perf point below renders durations as integer ns.
     println!(
         "  cache-on:  median {:?}, mean {:?}, p95 {:?} ({warmup_trainings} warm-up trainings, \
          {trainings_on} trainings/run)",

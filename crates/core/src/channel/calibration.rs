@@ -18,7 +18,6 @@
 //! same tuning (`tests/receiver_invariance.rs`), figure harnesses
 //! re-deriving a calibration, and resumed/repeated trials.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -52,6 +51,8 @@ impl Calibration {
     /// unsupported, or if the training run itself fails (see
     /// [`Calibration::try_for_config`] for the fallible form).
     pub fn for_config(kind: ChannelKind, cfg: &ChannelConfig, reps: usize) -> Self {
+        // lint:allow(R001): documented panicking wrapper; callers who
+        // need to handle the error use try_for_config.
         Self::try_for_config(kind, cfg, reps).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -82,7 +83,7 @@ impl Calibration {
             return calibrate_uncached(kind, cfg, reps);
         }
         let key = fingerprint(kind, cfg, reps);
-        if let Some(hit) = cache().lock().expect("calibration memo lock").get(&key) {
+        if let Some(hit) = memo_lock().get(&key) {
             HITS.fetch_add(1, Ordering::Relaxed);
             ichannels_obs::counter_add("calibration.memo_hits", 1);
             return Ok(hit.clone());
@@ -94,7 +95,7 @@ impl Calibration {
         // the same key compute identical means, so the double insert is
         // benign.
         let cal = calibrate_uncached(kind, cfg, reps)?;
-        let mut map = cache().lock().expect("calibration memo lock");
+        let mut map = memo_lock();
         // Bound the memo: a long-lived process sweeping ever-fresh
         // seeds would otherwise grow it without limit. Dropping every
         // entry is always safe — the next lookup just retrains.
@@ -131,7 +132,7 @@ impl Calibration {
     /// is exactly thresholding against these.
     pub fn thresholds(&self) -> [f64; 3] {
         let mut sorted = self.means;
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         [
             (sorted[0] + sorted[1]) / 2.0,
             (sorted[1] + sorted[2]) / 2.0,
@@ -173,7 +174,7 @@ impl Calibration {
     /// the paper reports > 2 000 cycles on a low-noise system (§6.3).
     pub fn min_separation_cycles(&self) -> f64 {
         let mut sorted = self.means;
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         sorted
             .windows(2)
             .map(|w| w[1] - w[0])
@@ -212,6 +213,9 @@ fn calibrate_uncached(
 /// seed, a knob override — changes the fingerprint and misses.
 pub fn fingerprint(kind: ChannelKind, cfg: &ChannelConfig, reps: usize) -> String {
     let tuning = cfg.receiver.resolve(&cfg.soc.platform, kind);
+    // lint:allow(D004): audited — the fingerprint is a process-local
+    // memo key compared only for equality within one process; it is
+    // never persisted, so Debug-format drift cannot corrupt artifacts.
     format!(
         "{kind:?}|reps={reps}|tuning={tuning:?}|slot={:?}|start={:?}|sender={:?}|recv={:?}|\
          xdelay={:?}|jitter={:?}|jseed={}|soc={:?}",
@@ -245,9 +249,23 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<HashMap<String, Calibration>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Calibration>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+// lint:allow(D001): the memo is only ever probed by exact key and
+// wholesale cleared — nothing iterates it, so map order is
+// unobservable in any output.
+type Memo = std::collections::HashMap<String, Calibration>;
+
+fn cache() -> &'static Mutex<Memo> {
+    static CACHE: OnceLock<Mutex<Memo>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Memo::new()))
+}
+
+/// Locks the memo, recovering from poisoning: the memo holds only
+/// complete entries (each insert is a single call), so a panic in
+/// another thread cannot leave a torn value behind.
+fn memo_lock() -> std::sync::MutexGuard<'static, Memo> {
+    cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// True while the process-wide calibration memo is consulted (the
@@ -265,7 +283,7 @@ pub fn set_memo_enabled(enabled: bool) {
 
 /// Drops every memoized calibration and zeroes the hit/miss counters.
 pub fn reset_memo() {
-    cache().lock().expect("calibration memo lock").clear();
+    memo_lock().clear();
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
 }

@@ -266,6 +266,8 @@ impl SymbolRun {
         // Per-rearm SoC stepping time. The Instant is taken only while
         // telemetry is on; timing lives strictly out-of-band and never
         // feeds back into the simulation.
+        // lint:allow(D002): telemetry-gated span timing; off by default
+        // and never part of campaign bytes.
         let stepping = ichannels_obs::enabled().then(std::time::Instant::now);
         soc.run_until_idle(deadline);
         if let Some(started) = stepping {
@@ -410,6 +412,8 @@ impl IChannel {
     /// Panics if `reps` is zero or a training run fails; use
     /// [`IChannel::try_calibrate`] to handle a broken configuration.
     pub fn calibrate(&self, reps: usize) -> Calibration {
+        // lint:allow(R001): documented panicking wrapper over
+        // try_calibrate for harness/figure code.
         self.try_calibrate(reps).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -430,6 +434,8 @@ impl IChannel {
     /// Panics if the run fails; use [`IChannel::try_transmit_symbols`]
     /// to handle a broken configuration.
     pub fn transmit_symbols(&self, symbols: &[Symbol], cal: &Calibration) -> Transmission {
+        // lint:allow(R001): documented panicking wrapper over
+        // try_transmit_symbols for harness/figure code.
         self.try_transmit_symbols(symbols, cal)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -465,6 +471,8 @@ impl IChannel {
     where
         F: FnOnce(&mut Soc),
     {
+        // lint:allow(R001): documented panicking wrapper over
+        // try_transmit_symbols_with for harness/figure code.
         self.try_transmit_symbols_with(symbols, cal, setup)
             .unwrap_or_else(|e| panic!("{e}"))
     }

@@ -134,8 +134,8 @@ impl<'a> FramedLink<'a> {
         }
         if recovered.iter().all(Option::is_some) {
             let mut out = Vec::with_capacity(payload.len());
-            for r in recovered {
-                out.extend(r.expect("checked"));
+            for r in recovered.into_iter().flatten() {
+                out.extend(r);
             }
             (Some(out), stats)
         } else {

@@ -13,7 +13,7 @@
 //!   the inverse of sharding: N shard streams back into the
 //!   byte-identical unsharded artifacts.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -105,28 +105,30 @@ struct ProgressTicker {
     started: std::time::Instant,
     /// Trials not yet emitted, per cell key; a cell is done when its
     /// count reaches zero.
-    remaining: HashMap<String, usize>,
+    remaining: BTreeMap<String, usize>,
     cells_total: usize,
     cells_done: usize,
-    error_cells: std::collections::HashSet<String>,
+    error_cells: BTreeSet<String>,
     trials_total: usize,
     trials_done: usize,
 }
 
 impl ProgressTicker {
     fn new(name: &str, scenarios: &[Scenario]) -> Self {
-        let mut remaining: HashMap<String, usize> = HashMap::new();
+        let mut remaining: BTreeMap<String, usize> = BTreeMap::new();
         for s in scenarios {
             *remaining.entry(s.cell_key()).or_insert(0) += 1;
         }
         ProgressTicker {
             name: name.to_string(),
+            // lint:allow(D002): ETA estimate for the stderr ticker only;
+            // never reaches an artifact.
             started: std::time::Instant::now(),
             cells_total: remaining.len(),
             trials_total: scenarios.len(),
             remaining,
             cells_done: 0,
-            error_cells: std::collections::HashSet::new(),
+            error_cells: BTreeSet::new(),
             trials_done: 0,
         }
     }
@@ -297,8 +299,8 @@ fn resume_corruption(campaign: &str, slot: usize, trial: &str) -> io::Error {
 /// resume. Header lines, truncated trailing lines, and any other
 /// unparseable content are skipped rather than failing — an
 /// interrupted run left them behind.
-fn completed_rows(text: &str) -> HashMap<String, TrialRow> {
-    let mut completed = HashMap::new();
+fn completed_rows(text: &str) -> BTreeMap<String, TrialRow> {
+    let mut completed = BTreeMap::new();
     for line in text.lines() {
         if let Ok(row) = TrialRow::parse(line) {
             completed.insert(row.trial_key(), row);
@@ -347,7 +349,7 @@ pub fn run_to_dir(
         validate_resume_stream(&text, &jsonl_path, name, config.shard, total)?;
         completed_rows(&text)
     } else {
-        HashMap::new()
+        BTreeMap::new()
     };
     let mut rows: Vec<Option<TrialRow>> = vec![None; scenarios.len()];
     let mut todo: Vec<Scenario> = Vec::new();

@@ -90,6 +90,8 @@ impl Executor {
         }
         // Pool telemetry (out-of-band: never read back by the run).
         let telemetry = ichannels_obs::enabled();
+        // lint:allow(D002): telemetry-gated pool timing; off by default
+        // and never part of campaign bytes.
         let pool_started = telemetry.then(std::time::Instant::now);
         let next = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
@@ -111,6 +113,8 @@ impl Executor {
                         if i >= items.len() {
                             break;
                         }
+                        // lint:allow(D002): telemetry-gated worker
+                        // busy-time sample; never in campaign bytes.
                         let item_started = telemetry.then(std::time::Instant::now);
                         let result = f(&items[i]);
                         if let Some(started) = item_started {
@@ -149,6 +153,8 @@ impl Executor {
         }
         slots
             .into_iter()
+            // lint:allow(R001): the drain loop above runs until every
+            // worker sent its result, so each slot is Some.
             .map(|slot| slot.expect("every slot filled"))
             .collect()
     }

@@ -249,11 +249,7 @@ fn shrink_to_finding(
     );
     // The anomaly at the minimal scenario: the last accepted one, or
     // the original when no candidate was accepted.
-    let minimal_anomaly = if report.steps > 0 {
-        last.expect("accepted steps recorded an anomaly")
-    } else {
-        anomaly.clone()
-    };
+    let minimal_anomaly = last.unwrap_or_else(|| anomaly.clone());
     Finding {
         case,
         seed: config.seed,

@@ -113,6 +113,8 @@ impl<'a> TrialContext<'a> {
         candidates
             .into_iter()
             .find(|slot| !occupied.contains(slot))
+            // lint:allow(R001): catalog platforms have >= 2 cores, so a
+            // free slot always exists among the candidates.
             .expect("a catalog platform always has a free hardware thread")
     }
 
@@ -191,7 +193,7 @@ impl<'a> TrialContext<'a> {
         };
         let _metrics_span = ichannels_obs::span("trial.metrics");
         let mut sorted = means.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        sorted.sort_by(f64::total_cmp);
         let min_sep = sorted
             .windows(2)
             .map(|w| w[1] - w[0])

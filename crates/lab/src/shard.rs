@@ -408,6 +408,8 @@ pub fn merge_streams(streams: Vec<ShardStream>) -> Result<(String, Vec<TrialRow>
         merged.push(
             shard_rows[i % count]
                 .next()
+                // lint:allow(R001): each shard's row count was checked
+                // against the partition just above.
                 .expect("shard lengths validated against the partition"),
         );
     }

@@ -1,0 +1,177 @@
+//! The `lint` CLI: `cargo run -p ichannels-lint -- check [flags]`.
+//!
+//! Exit codes: 0 clean, 1 baseline regression or broken suppression,
+//! 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ichannels_lint::baseline::{count_findings, Baseline};
+use ichannels_lint::{check, find_workspace_root};
+
+const USAGE: &str = "\
+usage: lint check [--json] [--out FILE] [--root DIR] [--baseline FILE]
+                  [--ratchet-down] [--write-baseline]
+
+  check            scan the workspace and compare against the baseline
+  --json           print the JSON report to stdout instead of the summary
+  --out FILE       additionally write the JSON report to FILE
+  --root DIR       workspace root (default: ascend from the current dir)
+  --baseline FILE  baseline path (default: <root>/lint_baseline.json)
+  --ratchet-down   rewrite the baseline when counts dropped (never raises)
+  --write-baseline re-bless the baseline from this scan (maintainer only)
+
+Rules, suppression syntax (`// lint:allow(RULE): reason`), and the
+ratchet workflow are documented in docs/LINTS.md.";
+
+struct Args {
+    json: bool,
+    out: Option<PathBuf>,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    ratchet_down: bool,
+    write_baseline: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        out: None,
+        root: None,
+        baseline: None,
+        ratchet_down: false,
+        write_baseline: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--ratchet-down" => args.ratchet_down = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--out" | "--root" | "--baseline" => {
+                let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                let path = PathBuf::from(value);
+                match arg.as_str() {
+                    "--out" => args.out = Some(path),
+                    "--root" => args.root = Some(path),
+                    _ => args.baseline = Some(path),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("check") => {}
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let args = match parse_args(&argv[1..]) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("cannot locate the workspace root (pass --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint_baseline.json"));
+    let baseline = if baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path).and_then(|t| Baseline::parse(&t)) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.write_baseline {
+        Baseline::default()
+    } else {
+        eprintln!(
+            "{}: missing baseline — run `lint check --write-baseline` once to seed it",
+            baseline_path.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let report = match check(&root, &baseline) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(out) = &args.out {
+        if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(out, report.render_json()) {
+            eprintln!("cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human(&baseline));
+    }
+
+    let counts = count_findings(&report.findings);
+    if args.write_baseline {
+        // Re-bless: record exactly this scan. Deliberate policy
+        // changes only — the ratchet exists so this stays rare.
+        if let Err(e) = std::fs::write(&baseline_path, Baseline::from_counts(&counts).to_json()) {
+            eprintln!("cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("baseline re-blessed at {}", baseline_path.display());
+        return if report.has_broken_allows() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    if !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    if args.ratchet_down && !report.ratchet.improvements.is_empty() {
+        // Counts only ever go down here: regressions already failed
+        // above, so this rewrite cannot raise any entry.
+        if let Err(e) = std::fs::write(&baseline_path, Baseline::from_counts(&counts).to_json()) {
+            eprintln!("cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "baseline ratcheted down at {} ({} entries improved)",
+            baseline_path.display(),
+            report.ratchet.improvements.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+// Fixture: the ordered replacements and lookalike names are fine.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn tally(rows: &[(String, u64)]) -> Vec<String> {
+    let mut by_cell: BTreeMap<String, u64> = BTreeMap::new();
+    for (cell, n) in rows {
+        *by_cell.entry(cell.clone()).or_insert(0) += n;
+    }
+    by_cell.keys().cloned().collect()
+}
+
+// Identifier boundaries: a name merely *containing* the token is not a
+// hazard, and neither is the token inside a string or a comment.
+struct MyHashMapLike;
+
+fn doc() -> &'static str {
+    "prefer BTreeMap over HashMap in output crates"
+}

@@ -1,0 +1,16 @@
+// Fixture: unordered collections in an output-producing crate.
+use std::collections::HashMap;
+
+fn tally(rows: &[(String, u64)]) -> Vec<String> {
+    let mut by_cell: HashMap<String, u64> = HashMap::new();
+    for (cell, n) in rows {
+        *by_cell.entry(cell.clone()).or_insert(0) += n;
+    }
+    // Iteration order leaks straight into the emitted lines.
+    by_cell.keys().cloned().collect()
+}
+
+fn dedupe(keys: &[&str]) -> usize {
+    let seen: std::collections::HashSet<&str> = keys.iter().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,9 @@
+// Fixture: simulated time and clock mentions in text are fine.
+fn advance(sim_now_cycles: u64, step: u64) -> u64 {
+    // The simulator's own clock is deterministic: no wall time here.
+    sim_now_cycles + step
+}
+
+fn doc() -> &'static str {
+    "never call Instant::now in pipeline code"
+}

@@ -1,0 +1,8 @@
+// Fixture: wall-clock reads outside the timing allowlist.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u64 {
+    let t = Instant::now();
+    let _wall = SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}

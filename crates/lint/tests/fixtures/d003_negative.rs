@@ -1,0 +1,7 @@
+// Fixture: seeded RNG construction is the sanctioned pattern.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn rng_for_cell(seed: u64, cell: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ cell)
+}

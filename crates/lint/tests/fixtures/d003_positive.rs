@@ -1,0 +1,9 @@
+// Fixture: ambient entropy sources.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn rngs() {
+    let _a = rand::thread_rng();
+    let _b = SmallRng::from_entropy();
+    let _c: u64 = rand::random();
+}

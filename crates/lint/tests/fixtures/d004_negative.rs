@@ -1,0 +1,14 @@
+// Fixture: Debug in diagnostics dies with the process (or lands on
+// stderr), never in an artifact — and explicit rendering is clean.
+fn check(state: &MyState, ok: bool) -> Result<(), String> {
+    assert!(ok, "inconsistent state: {state:?}");
+    if state.bad() {
+        return Err(format!("rejected state {state:?}"));
+    }
+    eprintln!("progress: {state:?}");
+    Ok(())
+}
+
+fn csv_cell(ns: u128) -> String {
+    format!("{ns}")
+}

@@ -1,0 +1,8 @@
+// Fixture: Debug formatting feeding a persisted artifact.
+fn row_key(kind: MyKind, tuning: &MyTuning) -> String {
+    format!("{kind:?}|tuning={tuning:?}")
+}
+
+fn csv_cell(v: std::time::Duration) -> String {
+    format!("{:#?}", v)
+}

@@ -1,0 +1,32 @@
+// Fixture: typed errors, lookalike method names, test code, and
+// mentions in strings are all fine.
+fn load(path: &str) -> std::io::Result<String> {
+    let text = std::fs::read_to_string(path)?;
+    let first = text.lines().next().unwrap_or_default();
+    Ok(first.to_string())
+}
+
+struct Cursor;
+impl Cursor {
+    // A domain `expect(char)` helper is not `Result::expect`.
+    fn expect(&mut self, _want: char) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+fn parse(cur: &mut Cursor) -> Result<(), String> {
+    cur.expect(':')
+}
+
+fn doc() -> &'static str {
+    "never call .unwrap() in pipeline code; panic! aborts the shard"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

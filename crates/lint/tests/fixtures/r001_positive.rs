@@ -1,0 +1,9 @@
+// Fixture: panicking escape hatches in pipeline code.
+fn load(path: &str) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    let first = text.lines().next().expect("at least one line");
+    if first.is_empty() {
+        panic!("empty header in {path}");
+    }
+    first.to_string()
+}

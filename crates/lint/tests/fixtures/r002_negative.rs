@@ -1,0 +1,6 @@
+// Fixture: the documented variable set is free to read.
+fn knobs() -> bool {
+    let regolden = std::env::var_os("ICHANNELS_REGOLDEN").is_some();
+    let _results = std::env::var("ICHANNELS_RESULTS");
+    regolden
+}

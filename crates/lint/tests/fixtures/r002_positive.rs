@@ -1,0 +1,6 @@
+// Fixture: undocumented environment reads.
+fn knobs() {
+    let _secret = std::env::var("ICHANNELS_SECRET_KNOB");
+    let name = "DYNAMIC";
+    let _dynamic = std::env::var(name);
+}

@@ -1,0 +1,16 @@
+// Fixture: justified suppressions silence the count (but stay visible
+// as suppressed findings), while broken ones raise L001.
+
+// lint:allow(D001): probed by exact key only, never iterated.
+use std::collections::HashMap;
+
+// lint:allow(D001): same memo, same justification.
+fn memo() -> HashMap<String, u64> {
+    // lint:allow(D001): same memo, same justification.
+    HashMap::new()
+}
+
+fn sloppy() {
+    let v: Option<u8> = Some(1);
+    let _ = v.unwrap(); // lint:allow(R001)
+}
