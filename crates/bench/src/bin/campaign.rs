@@ -7,8 +7,8 @@
 //!          [--shard I/N] [--resume] [--telemetry DIR] [--progress]
 //!          [--fail-on-error]
 //! campaign list [--json] [--quick]
-//! campaign bench [--quick] [--samples N] [--threads N]
-//!                [--out BENCH_5.json] [--check BASELINE.json]
+//! campaign bench [--quick|--full] [--samples N] [--threads N]
+//!                [--out FILE.json] [--check BASELINE.json]
 //! campaign merge [--fail-on-error] <out-dir> <shard_trials.jsonl>...
 //! campaign fuzz [--seed S] [--cases N] [--tolerance T] [--shard I/N]
 //!               [--threads N]
@@ -44,9 +44,10 @@
 //! value labels, cell and scenario counts) so a dispatcher can
 //! enumerate work without parsing human output. `bench` times the
 //! catalog end-to-end with the calibration memo off vs on and records
-//! the perf point as a one-line JSON file (`BENCH_5.json`);
-//! `--check` compares the cache-on wall-clock against a recorded
-//! baseline and fails on a >2× regression.
+//! the perf point as a one-line JSON file (`BENCH_5.json` for the
+//! `--quick` catalog, `BENCH_10.json` for the full catalog — `--full`
+//! spells the default out); `--check` compares the cache-on wall-clock
+//! against a recorded baseline and fails on a >2× regression.
 //!
 //! `analyze` runs the `ichannels-analysis` statistics layer over every
 //! `<name>_trials.jsonl` stream in a directory (an unsharded results
@@ -94,8 +95,8 @@ fn usage_text() -> String {
          \x20                [--shard I/N] [--resume] [--telemetry DIR] [--progress]\n\
          \x20                [--fail-on-error]\n\
          \x20      campaign list [--json] [--quick]\n\
-         \x20      campaign bench [--quick] [--samples N] [--threads N]\n\
-         \x20                     [--out BENCH_5.json] [--check BASELINE.json]\n\
+         \x20      campaign bench [--quick|--full] [--samples N] [--threads N]\n\
+         \x20                     [--out FILE.json] [--check BASELINE.json]\n\
          \x20      campaign merge [--fail-on-error] <out-dir> <shard_trials.jsonl>...\n\
          \x20      campaign fuzz [--seed S] [--cases N] [--tolerance T] [--shard I/N]\n\
          \x20                    [--threads N]\n\
@@ -288,14 +289,16 @@ fn stats_fields(row: JsonlRow, prefix: &str, stats: &criterion::Stats) -> JsonlR
 
 fn bench_main(args: &[String]) -> ExitCode {
     let mut quick = false;
+    let mut full = false;
     let mut samples = 3usize;
     let mut threads: Option<usize> = None;
-    let mut out = PathBuf::from("BENCH_5.json");
+    let mut out: Option<PathBuf> = None;
     let mut check: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--full" => full = true,
             "--samples" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => samples = n,
                 _ => return usage(),
@@ -305,7 +308,7 @@ fn bench_main(args: &[String]) -> ExitCode {
                 _ => return usage(),
             },
             "--out" => match iter.next() {
-                Some(path) => out = PathBuf::from(path),
+                Some(path) => out = Some(PathBuf::from(path)),
                 None => return usage(),
             },
             "--check" => match iter.next() {
@@ -318,6 +321,21 @@ fn bench_main(args: &[String]) -> ExitCode {
             }
         }
     }
+    if quick && full {
+        eprintln!("--quick and --full are mutually exclusive");
+        return usage();
+    }
+    // The full catalog is already the default; `--full` spells it out
+    // (and pins the BENCH_10.json default below). Each catalog records
+    // its own perf point so the two baselines never overwrite each
+    // other.
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from(if quick {
+            "BENCH_5.json"
+        } else {
+            "BENCH_10.json"
+        })
+    });
 
     // Read the baseline up front so `--out` may safely overwrite the
     // same file the baseline was read from.
@@ -446,8 +464,9 @@ fn bench_main(args: &[String]) -> ExitCode {
         );
         if ratio > 2.0 {
             eprintln!(
-                "  FAILED: quick catalog regressed {ratio:.2}x over the recorded baseline \
-                 (limit 2x)"
+                "  FAILED: {} catalog regressed {ratio:.2}x over the recorded baseline \
+                 (limit 2x)",
+                if quick { "quick" } else { "full" }
             );
             return ExitCode::FAILURE;
         }

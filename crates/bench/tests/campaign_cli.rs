@@ -371,6 +371,30 @@ fn profile_prints_a_phase_breakdown_covering_the_wall_clock() {
         }
         assert!(stdout.contains("soc stepping"), "{stdout}");
         assert!(stdout.contains("calibration memo"), "{stdout}");
+        // Re-arm reuse (PR 10) must not break the telemetry ledger:
+        // every trial re-arms at least once, and every rearm simulates
+        // at least one slot, so `trials <= rearms <= slots`.
+        let stepping_line = stdout
+            .lines()
+            .find(|l| l.contains("soc stepping"))
+            .unwrap_or_else(|| panic!("no soc stepping line in {stdout}"));
+        let count_before = |marker: &str| -> u64 {
+            stepping_line
+                .split(marker)
+                .next()
+                .and_then(|s| s.rsplit(' ').find(|w| !w.is_empty()))
+                .and_then(|w| w.parse().ok())
+                .unwrap_or_else(|| panic!("unparseable stepping line: {stepping_line}"))
+        };
+        let rearms = count_before(" rearm(s)");
+        let slots = count_before(" slot(s)");
+        let trials = stdout
+            .lines()
+            .find_map(|l| l.strip_suffix(" errored")?.trim().split(' ').next())
+            .and_then(|w| w.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no trial count line in {stdout}"));
+        assert!(rearms >= trials, "{rearms} rearm(s) < {trials} trial(s)");
+        assert!(slots >= rearms, "{slots} slot(s) < {rearms} rearm(s)");
         let coverage_line = stdout
             .lines()
             .find(|l| l.contains("phases sum to"))

@@ -1,6 +1,10 @@
 //! Per-level receiver calibration: the training the paper's receiver
 //! does once per platform (§6), plus a process-wide memo cache so
 //! identical channel configurations train exactly once per process.
+//! The memo is sharded by fingerprint hash (`memoized_means`) and
+//! also serves the multi-level alphabet calibration
+//! ([`crate::extended::MultiLevelChannel::calibrate`]), whose keys
+//! extend the four-level fingerprint with the alphabet.
 //!
 //! [`Calibration::for_config`] is the pure, fingerprinted entry point:
 //! the calibration is a deterministic function of everything the
@@ -76,34 +80,15 @@ impl Calibration {
         reps: usize,
     ) -> Result<Self, ChannelError> {
         assert!(reps > 0, "calibration needs at least one repetition");
-        ichannels_obs::counter_add("calibration.requests", 1);
-        if !memo_enabled() {
-            MISSES.fetch_add(1, Ordering::Relaxed);
-            ichannels_obs::counter_add("calibration.memo_misses", 1);
-            return calibrate_uncached(kind, cfg, reps);
+        let means = memoized_means(
+            || fingerprint(kind, cfg, reps),
+            || calibrate_uncached(kind, cfg, reps).map(|cal| cal.means.to_vec()),
+        )?;
+        let mut arr = [0.0f64; 4];
+        for (slot, m) in arr.iter_mut().zip(&means) {
+            *slot = *m;
         }
-        let key = fingerprint(kind, cfg, reps);
-        if let Some(hit) = memo_lock().get(&key) {
-            HITS.fetch_add(1, Ordering::Relaxed);
-            ichannels_obs::counter_add("calibration.memo_hits", 1);
-            return Ok(hit.clone());
-        }
-        MISSES.fetch_add(1, Ordering::Relaxed);
-        ichannels_obs::counter_add("calibration.memo_misses", 1);
-        // The training runs execute outside the lock so workers never
-        // serialize on each other's simulations; two workers racing on
-        // the same key compute identical means, so the double insert is
-        // benign.
-        let cal = calibrate_uncached(kind, cfg, reps)?;
-        let mut map = memo_lock();
-        // Bound the memo: a long-lived process sweeping ever-fresh
-        // seeds would otherwise grow it without limit. Dropping every
-        // entry is always safe — the next lookup just retrains.
-        if map.len() >= MEMO_CAPACITY {
-            map.clear();
-        }
-        map.insert(key, cal.clone());
-        Ok(cal)
+        Ok(Calibration::from_means(arr))
     }
 
     /// Per-symbol mean durations (TSC cycles).
@@ -241,9 +226,14 @@ pub struct MemoStats {
     pub misses: u64,
 }
 
-/// Entries the memo holds before it is wholesale cleared (a clear only
+/// Shards of the memo map. Lookups hash the fingerprint to pick a
+/// shard, so concurrent workers probing different configurations no
+/// longer serialize on one process-wide mutex.
+const N_SHARDS: usize = 16;
+
+/// Entries one shard holds before it is wholesale cleared (a clear only
 /// costs retraining, never correctness).
-const MEMO_CAPACITY: usize = 8_192;
+const SHARD_CAPACITY: usize = 8_192 / N_SHARDS;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static HITS: AtomicU64 = AtomicU64::new(0);
@@ -252,20 +242,69 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 // lint:allow(D001): the memo is only ever probed by exact key and
 // wholesale cleared — nothing iterates it, so map order is
 // unobservable in any output.
-type Memo = std::collections::HashMap<String, Calibration>;
+type Memo = std::collections::HashMap<String, Vec<f64>>;
 
-fn cache() -> &'static Mutex<Memo> {
-    static CACHE: OnceLock<Mutex<Memo>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(Memo::new()))
+fn shards() -> &'static [Mutex<Memo>; N_SHARDS] {
+    static SHARDS: OnceLock<[Mutex<Memo>; N_SHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(|| std::array::from_fn(|_| Mutex::new(Memo::new())))
 }
 
-/// Locks the memo, recovering from poisoning: the memo holds only
-/// complete entries (each insert is a single call), so a panic in
-/// another thread cannot leave a torn value behind.
-fn memo_lock() -> std::sync::MutexGuard<'static, Memo> {
-    cache()
+/// Locks the shard holding `key`, recovering from poisoning: the memo
+/// holds only complete entries (each insert is a single call), so a
+/// panic in another thread cannot leave a torn value behind. The shard
+/// choice is a process-local routing decision — it never affects which
+/// entries exist, only which mutex guards them.
+fn shard_lock(key: &str) -> std::sync::MutexGuard<'static, Memo> {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    shards()[(h.finish() as usize) % N_SHARDS]
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The memo engine shared by the four-level [`Calibration`] and the
+/// multi-level alphabet calibration: looks `key_fn()` up in the sharded
+/// process-wide memo, running `train` (outside any lock) on a miss.
+/// `key_fn` is only invoked while the memo is enabled, so the disabled
+/// path never pays for fingerprint rendering.
+///
+/// # Errors
+///
+/// Propagates the training error; errors are never cached.
+pub(crate) fn memoized_means<K, T>(key_fn: K, train: T) -> Result<Vec<f64>, ChannelError>
+where
+    K: FnOnce() -> String,
+    T: FnOnce() -> Result<Vec<f64>, ChannelError>,
+{
+    ichannels_obs::counter_add("calibration.requests", 1);
+    if !memo_enabled() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        ichannels_obs::counter_add("calibration.memo_misses", 1);
+        return train();
+    }
+    let key = key_fn();
+    if let Some(hit) = shard_lock(&key).get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        ichannels_obs::counter_add("calibration.memo_hits", 1);
+        return Ok(hit.clone());
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    ichannels_obs::counter_add("calibration.memo_misses", 1);
+    // The training runs execute outside the lock so workers never
+    // serialize on each other's simulations; two workers racing on
+    // the same key compute identical means, so the double insert is
+    // benign.
+    let means = train()?;
+    let mut map = shard_lock(&key);
+    // Bound the memo: a long-lived process sweeping ever-fresh seeds
+    // would otherwise grow it without limit. Dropping every entry is
+    // always safe — the next lookup just retrains.
+    if map.len() >= SHARD_CAPACITY {
+        map.clear();
+    }
+    map.insert(key, means.clone());
+    Ok(means)
 }
 
 /// True while the process-wide calibration memo is consulted (the
@@ -283,7 +322,12 @@ pub fn set_memo_enabled(enabled: bool) {
 
 /// Drops every memoized calibration and zeroes the hit/miss counters.
 pub fn reset_memo() {
-    memo_lock().clear();
+    for shard in shards() {
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
 }

@@ -42,7 +42,7 @@ impl JitterSource {
 /// Same-hardware-thread program: alternates sender and receiver roles
 /// within each transaction slot (IccThreadCovert).
 pub(crate) struct ThreadChannelProg {
-    pub(crate) symbols: Vec<Symbol>,
+    pub(crate) symbols: Rc<[Symbol]>,
     pub(crate) idx: usize,
     pub(crate) stage: u8,
     pub(crate) slot0: u64,
@@ -107,7 +107,7 @@ impl Program for ThreadChannelProg {
 
 /// Standalone sender (IccSMTcovert / IccCoresCovert).
 pub(crate) struct SenderProg {
-    pub(crate) symbols: Vec<Symbol>,
+    pub(crate) symbols: Rc<[Symbol]>,
     pub(crate) idx: usize,
     pub(crate) running: bool,
     pub(crate) slot0: u64,

@@ -103,13 +103,16 @@ impl Transmission {
 /// per-configuration invariant — instruction counts, slot schedule,
 /// receiver window, jitter σ — derived once at construction.
 ///
-/// A `SymbolRun` owns its [`Soc`] and **re-arms** for each run: every
-/// [`SymbolRun::run`] builds the SoC from the stored configuration,
-/// so repeated runs (the four calibration levels, then the payload)
-/// are bit-identical to constructing a fresh driver each time — noise
-/// arrivals, program state, and measurement jitter all restart from
-/// the configuration seeds — while the schedule derivation is paid
-/// once instead of per run.
+/// A `SymbolRun` owns its [`Soc`] and **re-arms** for each run: the
+/// first [`SymbolRun::run`] builds the SoC from the stored
+/// configuration and every later run resets it in place via
+/// [`Soc::rearm`] (reusing the core, rail-segment, and trace
+/// allocations), so repeated runs (the four calibration levels, then
+/// the payload) are bit-identical to constructing a fresh driver each
+/// time — noise arrivals, program state, and measurement jitter all
+/// restart from the configuration seeds — while the schedule
+/// derivation and the SoC construction are paid once instead of per
+/// run.
 pub struct SymbolRun {
     kind: ChannelKind,
     soc_cfg: SocConfig,
@@ -197,7 +200,35 @@ impl SymbolRun {
     where
         F: FnOnce(&mut Soc),
     {
-        let soc = self.soc.insert(Soc::new(self.soc_cfg.clone()));
+        self.run_shared(&Rc::from(symbols), setup)
+    }
+
+    /// [`SymbolRun::run`] over an already-shared symbol buffer: the
+    /// programs clone the `Rc`, so no per-program symbol copies are
+    /// made.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::ReceiverMissedTransactions`] when the receiver
+    /// recorded fewer durations than transmitted slots.
+    pub(crate) fn run_shared<F>(
+        &mut self,
+        symbols: &Rc<[Symbol]>,
+        setup: F,
+    ) -> Result<Vec<u64>, ChannelError>
+    where
+        F: FnOnce(&mut Soc),
+    {
+        // Re-arm in place after the first run: `Soc::rearm` is pinned
+        // bit-identical to a fresh `Soc::new` and skips both the
+        // config clone and the PMU/core/trace rebuild.
+        let soc = match self.soc.take() {
+            Some(mut soc) => {
+                soc.rearm();
+                self.soc.insert(soc)
+            }
+            None => self.soc.insert(Soc::new(self.soc_cfg.clone())),
+        };
         setup(soc);
         let recorder = Recorder::new();
         let jitter = Rc::new(RefCell::new(JitterSource::new(
@@ -211,7 +242,7 @@ impl SymbolRun {
                     0,
                     0,
                     Box::new(ThreadChannelProg {
-                        symbols: symbols.to_vec(),
+                        symbols: symbols.clone(),
                         idx: 0,
                         stage: 0,
                         slot0: self.slot0,
@@ -230,7 +261,7 @@ impl SymbolRun {
                     0,
                     0,
                     Box::new(SenderProg {
-                        symbols: symbols.to_vec(),
+                        symbols: symbols.clone(),
                         idx: 0,
                         running: false,
                         slot0: self.slot0,
@@ -499,15 +530,17 @@ impl IChannel {
         F: FnOnce(&mut Soc),
     {
         let votes = self.slots_per_symbol();
-        let slots: Vec<Symbol> = if votes == 1 {
-            symbols.to_vec()
+        // Build the slot schedule once as a shared buffer: the spawned
+        // programs clone the `Rc` instead of re-copying the symbols.
+        let slots: Rc<[Symbol]> = if votes == 1 {
+            Rc::from(symbols)
         } else {
             symbols
                 .iter()
                 .flat_map(|&s| std::iter::repeat_n(s, votes))
                 .collect()
         };
-        let durations = self.run_symbols_with(&slots, setup)?;
+        let durations = SymbolRun::new(self).run_shared(&slots, setup)?;
         let received: Vec<Symbol> = if votes == 1 {
             durations.iter().map(|&d| cal.decode(d)).collect()
         } else {

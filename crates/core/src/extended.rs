@@ -162,15 +162,24 @@ impl MultiLevelChannel {
 
         let cfg = &self.cfg;
         let freq = cfg.freq();
+        let recv_class = self.kind.receiver_class();
+        let recv_insts = instructions_for_duration(recv_class, freq, cfg.receiver_loop);
         let mut out = Vec::with_capacity(classes.len());
         // One independent SoC run per transaction: equivalent to the
         // slotted protocol (each slot starts from a decayed license) and
-        // embarrassingly simple to reason about.
+        // embarrassingly simple to reason about. The simulator itself is
+        // built once and re-armed in place between transactions —
+        // `Soc::rearm` is pinned bit-identical to a fresh `Soc::new`.
+        let mut armed: Option<Soc> = None;
         for &class in classes {
-            let mut soc = Soc::new(cfg.soc.clone());
+            let soc = match armed.take() {
+                Some(mut soc) => {
+                    soc.rearm();
+                    armed.insert(soc)
+                }
+                None => armed.insert(Soc::new(cfg.soc.clone())),
+            };
             let sender_insts = instructions_for_duration(class, freq, cfg.sender_loop);
-            let recv_class = self.kind.receiver_class();
-            let recv_insts = instructions_for_duration(recv_class, freq, cfg.receiver_loop);
             let rec = Recorder::new();
             match self.kind {
                 ChannelKind::Thread => {
@@ -250,13 +259,47 @@ impl MultiLevelChannel {
     }
 
     /// Calibrates per-level mean durations.
+    ///
+    /// Served by the same process-wide memo as the four-level
+    /// [`crate::channel::Calibration`]: the memo key is the four-level
+    /// fingerprint extended with this channel's alphabet, so identical
+    /// multi-level configurations train once per process and a memo hit
+    /// returns byte-identical means to a fresh training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` is zero.
     pub fn calibrate(&self, reps: usize) -> Vec<f64> {
-        (0..self.alphabet.len())
-            .map(|d| {
-                let durations = self.run_digits(&vec![d; reps]);
-                durations.iter().map(|&x| x as f64).sum::<f64>() / reps as f64
-            })
-            .collect()
+        assert!(reps > 0, "calibration needs at least one repetition");
+        let result = crate::channel::calibration::memoized_means(
+            || {
+                // lint:allow(D004): audited — like the base fingerprint,
+                // the alphabet suffix is a process-local memo key
+                // compared only for equality; it is never persisted.
+                format!(
+                    "{}|ml-alphabet={:?}",
+                    crate::channel::calibration::fingerprint(self.kind, &self.cfg, reps),
+                    self.alphabet.classes()
+                )
+            },
+            || {
+                Ok((0..self.alphabet.len())
+                    .map(|d| {
+                        let durations = self.run_digits(&vec![d; reps]);
+                        durations.iter().map(|&x| x as f64).sum::<f64>() / reps as f64
+                    })
+                    .collect())
+            },
+        );
+        match result {
+            Ok(means) => means,
+            // The training closure above is infallible (always `Ok`), so
+            // this arm is unreachable; `memoized_means` never fabricates
+            // errors of its own.
+            // lint:allow(R001): unreachable error arm of an infallible
+            // training closure.
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Nearest-mean decoding.

@@ -147,20 +147,25 @@ impl GuardbandModel {
         vcc_mv: f64,
         freq: Freq,
     ) -> f64 {
-        let per_core: f64 = core_classes
-            .iter()
-            .map(|c| match c {
-                Some(class) => self.core_guardband_mv(*class, vcc_mv, freq),
-                None => 0.0,
-            })
-            .sum();
-        let max_class = core_classes
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(InstClass::Scalar64);
-        let shared = self.core_guardband_mv(max_class, vcc_mv, freq);
+        self.package_guardband_iter_mv(core_classes.iter().copied(), vcc_mv, freq)
+    }
+
+    /// [`Self::package_guardband_mv`] over any class iterator, so hot
+    /// callers (the PMU's per-event rail retargeting) need not build a
+    /// slice. Single pass: the per-core sum and the shared max-class
+    /// component are accumulated together, in iteration order, so the
+    /// result is bit-identical to the slice form.
+    pub fn package_guardband_iter_mv<I>(&self, core_classes: I, vcc_mv: f64, freq: Freq) -> f64
+    where
+        I: IntoIterator<Item = Option<InstClass>>,
+    {
+        let mut per_core = 0.0f64;
+        let mut max_class: Option<InstClass> = None;
+        for class in core_classes.into_iter().flatten() {
+            per_core += self.core_guardband_mv(class, vcc_mv, freq);
+            max_class = Some(max_class.map_or(class, |m| m.max(class)));
+        }
+        let shared = self.core_guardband_mv(max_class.unwrap_or(InstClass::Scalar64), vcc_mv, freq);
         Self::PER_CORE_SHARE * per_core + (1.0 - Self::PER_CORE_SHARE) * shared
     }
 
@@ -168,8 +173,8 @@ impl GuardbandModel {
     /// executing the most intense class. This is the level the paper's
     /// proposed *secure-mode* mitigation (§7) pins the system at.
     pub fn secure_mode_guardband_mv(&self, n_cores: usize, vcc_mv: f64, freq: Freq) -> f64 {
-        let classes: Vec<Option<InstClass>> = vec![Some(InstClass::Heavy512); n_cores];
-        self.package_guardband_mv(&classes, vcc_mv, freq)
+        let classes = std::iter::repeat_n(Some(InstClass::Heavy512), n_cores);
+        self.package_guardband_iter_mv(classes, vcc_mv, freq)
     }
 }
 

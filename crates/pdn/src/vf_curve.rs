@@ -93,12 +93,13 @@ impl VfCurve {
 
     /// Lowest frequency on the curve.
     pub fn min_freq(&self) -> Freq {
-        self.points.first().expect("non-empty").0
+        // Construction rejects curves with fewer than two points.
+        self.points[0].0
     }
 
     /// Highest frequency on the curve.
     pub fn max_freq(&self) -> Freq {
-        self.points.last().expect("non-empty").0
+        self.points[self.points.len() - 1].0
     }
 
     /// Operating voltage (mV) for `freq`, linearly interpolated and

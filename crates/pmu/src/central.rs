@@ -58,6 +58,14 @@ impl VrRail {
         &self.model
     }
 
+    /// Resets the rail to a freshly-constructed state settled at
+    /// `initial_mv`, reusing the segment buffer's allocation.
+    pub fn reset(&mut self, initial_mv: f64) {
+        self.free_at = SimTime::ZERO;
+        self.setpoint_mv = initial_mv;
+        self.segments.clear();
+    }
+
     /// Final setpoint (where the rail will settle after all scheduled
     /// transitions complete).
     pub fn setpoint_mv(&self) -> f64 {
@@ -100,6 +108,12 @@ impl VrRail {
 
     /// Instantaneous rail voltage at `t`.
     pub fn voltage_at(&self, t: SimTime) -> f64 {
+        // Settled fast path: at or past `free_at` every retained ramp
+        // has completed, so the rail sits at its final setpoint (the
+        // last segment's `to_mv`, which `schedule` keeps in sync).
+        if t >= self.free_at {
+            return self.setpoint_mv;
+        }
         // Find the last segment whose ramp has begun by `t`.
         let idx = self.segments.partition_point(|s| s.ramp_start <= t);
         if idx == 0 {
@@ -179,6 +193,14 @@ pub struct CentralPmu {
     rails: Vec<VrRail>,
     base_mv: f64,
     freq: Freq,
+    /// Rail targets are provably unchanged before this instant: license
+    /// levels are piecewise-constant between executions and decay
+    /// expiries, and `target_mv` depends only on those levels plus the
+    /// operating point. Any mutation (execution, P-state change, reset)
+    /// clears this to `SimTime::ZERO`; a completed decay scan advances it
+    /// to the earliest pending decay. Purely a skip memo for
+    /// [`Self::process_decays`] — it never alters results.
+    targets_valid_until: SimTime,
 }
 
 impl CentralPmu {
@@ -213,7 +235,38 @@ impl CentralPmu {
             rails,
             base_mv,
             freq,
+            targets_valid_until: SimTime::ZERO,
         }
+    }
+
+    /// Resets the PMU to its exactly-as-constructed state at an initial
+    /// operating point, reusing the license and rail allocations
+    /// (including each rail's retained segment buffer). Equivalent to
+    /// `CentralPmu::new(cfg, freq, base_mv)` with the same config.
+    pub fn reset(&mut self, freq: Freq, base_mv: f64) {
+        self.freq = freq;
+        self.base_mv = base_mv;
+        let initial_mv = if self.cfg.secure_mode {
+            let per_core = if self.cfg.per_core_vr {
+                1
+            } else {
+                self.cfg.n_cores
+            };
+            base_mv
+                + self
+                    .cfg
+                    .guardband
+                    .secure_mode_guardband_mv(per_core, base_mv, freq)
+        } else {
+            base_mv
+        };
+        for rail in &mut self.rails {
+            rail.reset(initial_mv);
+        }
+        for license in &mut self.licenses {
+            license.reset();
+        }
+        self.targets_valid_until = SimTime::ZERO;
     }
 
     /// PMU configuration.
@@ -254,6 +307,11 @@ impl CentralPmu {
         self.licenses[core].effective_level(now)
     }
 
+    /// Effective license of `core` at `now`, as an instruction class.
+    pub fn effective_class(&self, core: usize, now: SimTime) -> InstClass {
+        self.licenses[core].effective_class(now)
+    }
+
     /// The voltage target of the rail supplying `core`, given current
     /// licenses at `now`.
     fn target_mv(&self, rail_core: usize, now: SimTime) -> f64 {
@@ -269,19 +327,20 @@ impl CentralPmu {
                     .guardband
                     .secure_mode_guardband_mv(per_core, self.base_mv, self.freq);
         }
-        let classes: Vec<Option<InstClass>> = if self.cfg.per_core_vr {
-            vec![Some(self.licenses[rail_core].effective_class(now))]
+        let gb = if self.cfg.per_core_vr {
+            let class = Some(self.licenses[rail_core].effective_class(now));
+            self.cfg.guardband.package_guardband_iter_mv(
+                std::iter::once(class),
+                self.base_mv,
+                self.freq,
+            )
         } else {
-            self.licenses
-                .iter()
-                .map(|l| Some(l.effective_class(now)))
-                .collect()
-        };
-        self.base_mv
-            + self
-                .cfg
+            let classes = self.licenses.iter().map(|l| Some(l.effective_class(now)));
+            self.cfg
                 .guardband
-                .package_guardband_mv(&classes, self.base_mv, self.freq)
+                .package_guardband_iter_mv(classes, self.base_mv, self.freq)
+        };
+        self.base_mv + gb
     }
 
     /// Notifies the PMU that `core` starts executing a loop of `class`
@@ -299,6 +358,10 @@ impl CentralPmu {
         let current = self.licenses[core].effective_level(now);
         let need = class.intensity_rank();
         self.licenses[core].record_execution(class, now);
+        // Even a same-level execution extends the license window, which
+        // moves the pending decay — the cached decay-scan horizon is
+        // stale either way.
+        self.targets_valid_until = SimTime::ZERO;
         if self.cfg.secure_mode || need <= current {
             return ExecGrant {
                 ready_at: now,
@@ -326,6 +389,13 @@ impl CentralPmu {
         if self.cfg.secure_mode {
             return false;
         }
+        // License levels (hence rail targets) cannot have changed since
+        // the last scan before the earliest pending decay, so the scan
+        // below would compare every rail against an identical target and
+        // report no change — skip it.
+        if now < self.targets_valid_until {
+            return false;
+        }
         let mut changed = false;
         let rail_count = self.rails.len();
         for rail_idx in 0..rail_count {
@@ -335,6 +405,7 @@ impl CentralPmu {
                 changed = true;
             }
         }
+        self.targets_valid_until = self.next_decay(now).unwrap_or(SimTime::MAX);
         changed
     }
 
@@ -348,6 +419,9 @@ impl CentralPmu {
             let target = self.target_mv(rail_idx, now);
             self.rails[rail_idx].schedule(now, target);
         }
+        // Every rail setpoint now equals its target at `now`, and targets
+        // hold until the next license decay.
+        self.targets_valid_until = self.next_decay(now).unwrap_or(SimTime::MAX);
     }
 
     /// The final setpoint of the (first) rail — the package voltage once

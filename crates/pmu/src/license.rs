@@ -75,7 +75,9 @@ impl CoreLicense {
 
     /// The effective license as an instruction class.
     pub fn effective_class(&self, now: SimTime) -> InstClass {
-        InstClass::from_rank(self.effective_level(now)).expect("rank in range")
+        // `effective_level` is always a valid rank; fall back to the
+        // baseline class rather than panicking.
+        InstClass::from_rank(self.effective_level(now)).unwrap_or(InstClass::Scalar64)
     }
 
     /// The next instant at which the effective level will drop, if any.
@@ -86,8 +88,8 @@ impl CoreLicense {
         if level == 0 {
             return None;
         }
-        let t = self.last_exec[level as usize].expect("level implies record");
-        Some(t + self.reset_time)
+        // A non-zero level implies a recorded execution at that rank.
+        self.last_exec[level as usize].map(|t| t + self.reset_time)
     }
 
     /// Clears all history (e.g., after a deep package sleep).

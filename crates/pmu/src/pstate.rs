@@ -52,7 +52,8 @@ impl PStateTable {
 
     /// Lowest frequency in the table.
     pub fn min(&self) -> Freq {
-        *self.freqs.last().expect("non-empty")
+        // Construction rejects empty tables.
+        self.freqs[self.freqs.len() - 1]
     }
 
     /// Highest table frequency that does not exceed `cap`; falls back to

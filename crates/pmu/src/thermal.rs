@@ -26,13 +26,31 @@ use ichannels_uarch::time::SimTime;
 /// th.advance(25.0, SimTime::from_secs(2.0));
 /// assert!(th.temp_c() > 40.0 && th.temp_c() < th.tjmax_c());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ThermalModel {
     temp_c: f64,
     ambient_c: f64,
     r_th_c_per_w: f64,
     tau: SimTime,
     tjmax_c: f64,
+    /// One-entry memo for the relaxation factor `exp(-dt/τ)`:
+    /// event-driven stepping repeats the same `dt` constantly, and `exp`
+    /// over identical bits is deterministic, so replaying the cached
+    /// factor is exact. Never observable — excluded from equality.
+    alpha_memo: (SimTime, f64),
+}
+
+/// Equality over the physical state only; the `alpha_memo` cache is an
+/// internal accelerator and two models that differ only in it are the
+/// same model.
+impl PartialEq for ThermalModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.temp_c == other.temp_c
+            && self.ambient_c == other.ambient_c
+            && self.r_th_c_per_w == other.r_th_c_per_w
+            && self.tau == other.tau
+            && self.tjmax_c == other.tjmax_c
+    }
 }
 
 impl ThermalModel {
@@ -65,6 +83,7 @@ impl ThermalModel {
             r_th_c_per_w,
             tau,
             tjmax_c,
+            alpha_memo: (SimTime::MAX, 0.0),
         }
     }
 
@@ -91,7 +110,13 @@ impl ThermalModel {
     /// Advances the model by `dt` with constant dissipated power `p_w`.
     pub fn advance(&mut self, p_w: f64, dt: SimTime) {
         let target = self.steady_state_c(p_w);
-        let alpha = (-(dt / self.tau)).exp();
+        let alpha = if self.alpha_memo.0 == dt {
+            self.alpha_memo.1
+        } else {
+            let a = (-(dt / self.tau)).exp();
+            self.alpha_memo = (dt, a);
+            a
+        };
         self.temp_c = target + (self.temp_c - target) * alpha;
     }
 

@@ -80,6 +80,9 @@ impl PlatformSpec {
                 (Freq::from_ghz(2.6), 980.0),
                 (Freq::from_ghz(3.1), 1060.0),
             ])
+            // lint:allow(R001): the V/F points above are static
+            // platform constants; `VfCurve::new` validates them once
+            // and the catalog unit tests construct every platform.
             .expect("valid curve"),
             pstates: PStateTable::new(
                 vec![
@@ -135,6 +138,9 @@ impl PlatformSpec {
                 (Freq::from_ghz(4.8), 1200.0),
                 (Freq::from_ghz(4.9), 1250.0),
             ])
+            // lint:allow(R001): the V/F points above are static
+            // platform constants; `VfCurve::new` validates them once
+            // and the catalog unit tests construct every platform.
             .expect("valid curve"),
             pstates: PStateTable::new(
                 vec![
@@ -212,6 +218,9 @@ impl PlatformSpec {
                 (Freq::from_ghz(3.5), 1080.0),
                 (Freq::from_ghz(3.9), 1180.0),
             ])
+            // lint:allow(R001): the V/F points above are static
+            // platform constants; `VfCurve::new` validates them once
+            // and the catalog unit tests construct every platform.
             .expect("valid curve"),
             pstates: PStateTable::new(
                 vec![
@@ -285,6 +294,9 @@ impl PlatformSpec {
                 (Freq::from_ghz(3.2), 1000.0),
                 (Freq::from_ghz(3.8), 1100.0),
             ])
+            // lint:allow(R001): the V/F points above are static
+            // platform constants; `VfCurve::new` validates them once
+            // and the catalog unit tests construct every platform.
             .expect("valid curve"),
             pstates: PStateTable::new(
                 vec![

@@ -123,6 +123,23 @@ pub struct Soc {
     next_sample: Option<SimTime>,
     next_governor_tick: Option<SimTime>,
     rng: SmallRng,
+    /// Scratch buffers reused across events so the hot paths (`step`,
+    /// `retarget_frequency`, `record_sample`) never allocate. Cleared
+    /// before every use; never observable.
+    acts_scratch: Vec<CoreActivity>,
+    proj_scratch: Vec<Option<InstClass>>,
+    proj_acts_scratch: Vec<CoreActivity>,
+    rate_scratch: Vec<f64>,
+    /// Earliest pending noise arrival seen during the last event search,
+    /// across every context that carries a program. Arrivals are not
+    /// mutated between the search and `process_due`, so when this lies
+    /// beyond the new instant the per-context arrival scan is provably a
+    /// no-op and is skipped. `SimTime::ZERO` (always due) when unknown.
+    next_noise_due: SimTime,
+    /// Count of contexts currently carrying a program, maintained by
+    /// `spawn`/halt so `all_idle` (checked once per event in
+    /// `run_until_idle`) is a comparison instead of a full scan.
+    live_programs: usize,
 }
 
 impl Soc {
@@ -183,7 +200,62 @@ impl Soc {
             next_governor_tick,
             rng,
             cfg,
+            acts_scratch: Vec::new(),
+            proj_scratch: Vec::new(),
+            proj_acts_scratch: Vec::new(),
+            rate_scratch: Vec::new(),
+            next_noise_due: SimTime::ZERO,
+            live_programs: 0,
         }
+    }
+
+    /// Resets the SoC to its exactly-as-constructed state while reusing
+    /// every existing allocation (core/context storage, the PMU's
+    /// voltage-rail segment buffers, trace storage, scratch buffers).
+    ///
+    /// Bit-identical to dropping this SoC and calling `Soc::new` with
+    /// the same config: the RNG is reseeded and the per-context noise
+    /// arrivals are redrawn in construction order (cores outer, SMT
+    /// contexts inner), so every subsequent draw sequence matches a
+    /// fresh simulator. Pinned by the `rearm_identity` proptest suite.
+    pub fn rearm(&mut self) {
+        let initial_freq = self
+            .cfg
+            .governor
+            .requested_freq(&self.cfg.platform.pstates, 0.0);
+        let base_mv = self.cfg.platform.vf_curve.voltage_mv(initial_freq);
+        self.pmu.reset(initial_freq, base_mv);
+        self.pstate = PStateEngine::new(initial_freq);
+        self.turbo = TurboState::new();
+        self.thermal = self.cfg.thermal_model();
+        // `current_model` and `tsc` are pure functions of the platform
+        // spec and carry no run state — left untouched.
+        self.now = SimTime::ZERO;
+        self.rng = SmallRng::seed_from_u64(self.cfg.seed);
+        for core in &mut self.cores {
+            for ctx in &mut core.ctxs {
+                ctx.program = None;
+                ctx.state = CtxState::Idle;
+                ctx.arrivals = NoiseArrivals::init(&self.cfg.noise, &mut self.rng, SimTime::ZERO);
+                ctx.paused_until = SimTime::ZERO;
+                ctx.inst_retired = 0.0;
+            }
+            core.throttled_until = SimTime::ZERO;
+            core.throttle_cause = 0;
+            core.avx_gate = match self.cfg.platform.avx_pg_wake {
+                Some(wake) => PowerGate::new(wake),
+                None => PowerGate::always_open(),
+            };
+        }
+        self.trace.clear();
+        self.next_sample = self.cfg.trace.sample_period.map(|p| SimTime::ZERO.max(p));
+        self.next_governor_tick = self.cfg.governor.sampling_period();
+        self.acts_scratch.clear();
+        self.proj_scratch.clear();
+        self.proj_acts_scratch.clear();
+        self.rate_scratch.clear();
+        self.next_noise_due = SimTime::ZERO;
+        self.live_programs = 0;
     }
 
     // ----- accessors -------------------------------------------------
@@ -262,9 +334,7 @@ impl Soc {
 
     /// True if every spawned program has halted.
     pub fn all_idle(&self) -> bool {
-        self.cores
-            .iter()
-            .all(|c| c.ctxs.iter().all(|x| x.program.is_none()))
+        self.live_programs == 0
     }
 
     // ----- program management ----------------------------------------
@@ -286,6 +356,7 @@ impl Soc {
             "hardware thread ({core},{smt}) already occupied"
         );
         self.cores[core].ctxs[smt].program = Some(program);
+        self.live_programs += 1;
         self.activate(core, smt);
     }
 
@@ -330,10 +401,14 @@ impl Soc {
                 Action::Halt => {
                     self.cores[core].ctxs[smt].program = None;
                     self.cores[core].ctxs[smt].state = CtxState::Idle;
+                    self.live_programs -= 1;
                     return;
                 }
             }
         }
+        // lint:allow(R001): livelock backstop — a program issuing a
+        // million non-blocking actions at one instant violates the
+        // Program contract and has no recoverable state to surface.
         panic!(
             "program on ({core},{smt}) livelocked at {now}",
             now = self.now
@@ -384,123 +459,93 @@ impl Soc {
 
     // ----- frequency management ---------------------------------------
 
-    /// The turbo license currently demanded by running code.
-    fn demanded_turbo_license(&self) -> TurboLicense {
-        let mut lic = self.turbo.current();
-        for core in &self.cores {
-            for ctx in &core.ctxs {
-                if let CtxState::Running { class, .. } = ctx.state {
-                    lic = lic.max(TurboLicense::for_class(class));
-                }
-            }
-        }
-        lic
-    }
-
-    fn active_core_count(&self) -> usize {
-        self.cores
-            .iter()
-            .filter(|c| {
-                c.ctxs
-                    .iter()
-                    .any(|x| matches!(x.state, CtxState::Running { .. }))
-            })
-            .count()
-    }
-
     /// Per-core activity descriptors for the current model.
     fn core_activities(&self) -> Vec<CoreActivity> {
-        self.cores
-            .iter()
-            .enumerate()
-            .map(|(ci, core)| {
-                let mut best: Option<InstClass> = None;
-                for ctx in &core.ctxs {
-                    if let CtxState::Running { class, .. } = ctx.state {
-                        best = Some(match best {
-                            Some(b) if b >= class => b,
-                            _ => class,
-                        });
-                    }
+        let mut out = Vec::with_capacity(self.cores.len());
+        self.core_activities_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the per-core activity descriptors, reusing its
+    /// allocation (the event-loop path).
+    fn core_activities_into(&self, out: &mut Vec<CoreActivity>) {
+        out.clear();
+        out.extend(self.cores.iter().map(|core| {
+            let mut best: Option<InstClass> = None;
+            for ctx in &core.ctxs {
+                if let CtxState::Running { class, .. } = ctx.state {
+                    best = Some(match best {
+                        Some(b) if b >= class => b,
+                        _ => class,
+                    });
                 }
-                match best {
-                    Some(class) => {
-                        let act = if self.now < self.cores[ci].throttled_until
-                            || self.pstate.in_transition(self.now)
-                        {
+            }
+            match best {
+                Some(class) => {
+                    let act =
+                        if self.now < core.throttled_until || self.pstate.in_transition(self.now) {
                             0.25
                         } else {
                             1.0
                         };
-                        CoreActivity::partial(class, act)
-                    }
-                    None => CoreActivity::IDLE,
+                    CoreActivity::partial(class, act)
                 }
-            })
-            .collect()
+                None => CoreActivity::IDLE,
+            }
+        }));
     }
 
     /// Picks the highest frequency satisfying governor, turbo license,
     /// and electrical limits; requests a P-state change if needed.
     fn retarget_frequency(&mut self) {
+        let mut projected = std::mem::take(&mut self.proj_scratch);
+        let mut acts = std::mem::take(&mut self.proj_acts_scratch);
         let p = &self.cfg.platform;
-        let load = if self.active_core_count() > 0 {
-            1.0
-        } else {
-            0.0
-        };
-        let desired = self.cfg.governor.requested_freq(&p.pstates, load);
-        let lic = self.demanded_turbo_license();
-        let active = self.active_core_count().max(1);
-        let cap = p.turbo.max_freq(lic, active);
-        let mut candidate = desired.min(cap);
-        // Electrical limit search (Key Conclusion 2): walk down the
-        // P-state table until the projected operating point fits. The
-        // projection is worst-case: unthrottled activity, and the
-        // license each core is *about* to hold (its current effective
-        // license or the class it is running, whichever is higher).
-        let projected: Vec<Option<InstClass>> = self
-            .cores
-            .iter()
-            .enumerate()
-            .map(|(i, core)| {
-                let licensed = InstClass::from_rank(self.pmu.effective_level(i, self.now))
-                    .expect("rank in range");
-                let running = core
-                    .ctxs
-                    .iter()
-                    .filter_map(|x| match x.state {
-                        CtxState::Running { class, .. } => Some(class),
-                        _ => None,
-                    })
-                    .max();
-                Some(match running {
-                    Some(r) if r > licensed => r,
-                    _ => licensed,
-                })
-            })
-            .collect();
-        let acts: Vec<CoreActivity> = self
-            .cores
-            .iter()
-            .zip(&projected)
-            .map(|(core, class)| {
-                let busy = core
-                    .ctxs
-                    .iter()
-                    .any(|x| matches!(x.state, CtxState::Running { .. }));
-                if busy {
-                    CoreActivity::busy(class.expect("projected class"))
-                } else {
-                    CoreActivity::IDLE
+        // One pass over the cores gathers everything the search needs:
+        // the demanded turbo license, the active-core count, and the
+        // worst-case projection (Key Conclusion 2) — unthrottled
+        // activity, and the license each core is *about* to hold (its
+        // current effective license or the class it is running,
+        // whichever is higher).
+        projected.clear();
+        acts.clear();
+        let mut lic = self.turbo.current();
+        let mut active = 0usize;
+        for (i, core) in self.cores.iter().enumerate() {
+            let licensed = self.pmu.effective_class(i, self.now);
+            let mut running: Option<InstClass> = None;
+            for x in &core.ctxs {
+                if let CtxState::Running { class, .. } = x.state {
+                    running = Some(match running {
+                        Some(r) if r >= class => r,
+                        _ => class,
+                    });
+                    lic = lic.max(TurboLicense::for_class(class));
                 }
-            })
-            .collect();
+            }
+            if running.is_some() {
+                active += 1;
+            }
+            let proj = Some(match running {
+                Some(r) if r > licensed => r,
+                _ => licensed,
+            });
+            projected.push(proj);
+            acts.push(match (running.is_some(), proj) {
+                (true, Some(class)) => CoreActivity::busy(class),
+                _ => CoreActivity::IDLE,
+            });
+        }
+        let load = if active > 0 { 1.0 } else { 0.0 };
+        let desired = self.cfg.governor.requested_freq(&p.pstates, load);
+        let cap = p.turbo.max_freq(lic, active.max(1));
+        let mut candidate = desired.min(cap);
+        // Electrical limit search: walk down the P-state table until the
+        // projected operating point fits.
+        let gb = p.guardband();
         loop {
             let base = p.vf_curve.voltage_mv(candidate);
-            let vcc = base
-                + p.guardband()
-                    .package_guardband_mv(&projected, base, candidate);
+            let vcc = base + gb.package_guardband_mv(&projected, base, candidate);
             let icc = self
                 .current_model
                 .icc_a(&acts, vcc, candidate, self.thermal.temp_c());
@@ -515,6 +560,8 @@ impl Soc {
         if candidate != self.pstate.target() {
             self.pstate.request(self.now, candidate, &p.pstates);
         }
+        self.proj_scratch = projected;
+        self.proj_acts_scratch = acts;
     }
 
     // ----- rates -------------------------------------------------------
@@ -562,8 +609,18 @@ impl Soc {
             return false;
         }
         // --- 1. find the next event time ---
+        // Retirement rates computed during the event search are cached
+        // per hardware thread and replayed in phase 2: rates are
+        // constant until the next event by construction, so the second
+        // `ctx_rate` pass the loop used to do is pure redundancy.
+        let mut rates = std::mem::take(&mut self.rate_scratch);
+        let mut acts = std::mem::take(&mut self.acts_scratch);
+        rates.clear();
+        acts.clear();
         let mut t_next = limit;
+        let mut noise_min = SimTime::MAX;
         let now = self.now;
+        let in_transition = self.pstate.in_transition(now);
         let mut consider = |t: SimTime| {
             if t > now && t < t_next {
                 t_next = t;
@@ -573,13 +630,22 @@ impl Soc {
             if core.throttled_until > now {
                 consider(core.throttled_until);
             }
+            // The per-core activity descriptor for the phase-2 power
+            // computation is accumulated in the same pass (it reads the
+            // same pre-event state this search does).
+            let mut best: Option<InstClass> = None;
             for (si, ctx) in core.ctxs.iter().enumerate() {
+                let mut rate = 0.0;
                 match ctx.state {
-                    CtxState::Running { remaining, .. } => {
+                    CtxState::Running { class, remaining } => {
+                        best = Some(match best {
+                            Some(b) if b >= class => b,
+                            _ => class,
+                        });
                         if ctx.paused_until > now {
                             consider(ctx.paused_until);
                         } else {
-                            let rate = self.ctx_rate(ci, si);
+                            rate = self.ctx_rate(ci, si);
                             if rate > 0.0 {
                                 let dt = SimTime::from_secs(remaining.max(0.0) / rate)
                                     .max(SimTime::from_ps(1));
@@ -590,12 +656,25 @@ impl Soc {
                     CtxState::Waiting { until } => consider(until),
                     CtxState::Idle => {}
                 }
+                rates.push(rate);
                 if ctx.program.is_some() {
                     if let Some((t, _)) = ctx.arrivals.next() {
                         consider(t);
+                        noise_min = noise_min.min(t);
                     }
                 }
             }
+            acts.push(match best {
+                Some(class) => {
+                    let act = if now < core.throttled_until || in_transition {
+                        0.25
+                    } else {
+                        1.0
+                    };
+                    CoreActivity::partial(class, act)
+                }
+                None => CoreActivity::IDLE,
+            });
         }
         if self.pstate.in_transition(now) {
             consider(self.pstate.settle_at());
@@ -612,22 +691,23 @@ impl Soc {
         if let Some(t) = self.next_sample {
             consider(t);
         }
+        self.next_noise_due = noise_min;
 
         // --- 2. advance state analytically across [now, t_next] ---
         let dt = t_next - self.now;
-        let power = {
-            let acts = self.core_activities();
-            self.current_model.power_w(
-                &acts,
-                self.pmu.core_voltage_mv(0, self.now),
-                self.freq(),
-                self.thermal.temp_c(),
-            )
-        };
+        let power = self.current_model.power_w(
+            &acts,
+            self.pmu.core_voltage_mv(0, self.now),
+            self.freq(),
+            self.thermal.temp_c(),
+        );
+        self.acts_scratch = acts;
         let dt_secs = dt.as_secs();
+        let mut slot = 0;
         for ci in 0..self.cores.len() {
             for si in 0..self.cores[ci].ctxs.len() {
-                let rate = self.ctx_rate(ci, si);
+                let rate = rates[slot];
+                slot += 1;
                 if rate > 0.0 {
                     if let CtxState::Running {
                         ref mut remaining, ..
@@ -640,6 +720,7 @@ impl Soc {
                 }
             }
         }
+        self.rate_scratch = rates;
         self.thermal.advance(power, dt);
         self.now = t_next;
 
@@ -651,7 +732,6 @@ impl Soc {
     /// Handles all conditions that have become due at `self.now`.
     fn process_due(&mut self) {
         let now = self.now;
-        let platform_turbo = self.cfg.platform.turbo.clone();
 
         // (a) P-state settle → commit the new operating point to the PMU.
         if !self.pstate.in_transition(now) {
@@ -678,31 +758,36 @@ impl Soc {
 
         // (c) Turbo license grant/release.
         let lic_before = self.turbo.current();
-        self.turbo.advance(now, &platform_turbo);
+        self.turbo.advance(now, &self.cfg.platform.turbo);
         if self.turbo.current() != lic_before {
             self.retarget_frequency();
         }
 
-        // (d) OS noise arrivals pause running programs.
+        // (d) OS noise arrivals pause running programs. The scan is
+        // skipped outright when the event search saw no arrival at or
+        // before the new instant (arrivals are untouched in between, so
+        // every per-context due-check below would be false).
         let noise = self.cfg.noise;
-        for ci in 0..self.cores.len() {
-            for si in 0..self.cores[ci].ctxs.len() {
-                if self.cores[ci].ctxs[si].program.is_none() {
-                    continue;
-                }
-                let due = self.cores[ci].ctxs[si]
-                    .arrivals
-                    .next()
-                    .is_some_and(|(t, _)| t <= now);
-                if due {
-                    let service = {
-                        let ctx = &mut self.cores[ci].ctxs[si];
-                        ctx.arrivals.consume_due(&noise, &mut self.rng, now)
-                    };
-                    if !service.is_zero() {
-                        let ctx = &mut self.cores[ci].ctxs[si];
-                        if matches!(ctx.state, CtxState::Running { .. }) {
-                            ctx.paused_until = ctx.paused_until.max(now) + service;
+        if self.next_noise_due <= now {
+            for ci in 0..self.cores.len() {
+                for si in 0..self.cores[ci].ctxs.len() {
+                    if self.cores[ci].ctxs[si].program.is_none() {
+                        continue;
+                    }
+                    let due = self.cores[ci].ctxs[si]
+                        .arrivals
+                        .next()
+                        .is_some_and(|(t, _)| t <= now);
+                    if due {
+                        let service = {
+                            let ctx = &mut self.cores[ci].ctxs[si];
+                            ctx.arrivals.consume_due(&noise, &mut self.rng, now)
+                        };
+                        if !service.is_zero() {
+                            let ctx = &mut self.cores[ci].ctxs[si];
+                            if matches!(ctx.state, CtxState::Running { .. }) {
+                                ctx.paused_until = ctx.paused_until.max(now) + service;
+                            }
                         }
                     }
                 }
@@ -726,24 +811,22 @@ impl Soc {
             }
         }
 
-        // (g) Governor sampling tick.
-        if let Some(t) = self.next_governor_tick {
+        // (g) Governor sampling tick. A pending tick implies a sampling
+        // period was configured; destructuring both keeps that tie
+        // structural instead of asserted.
+        if let (Some(t), Some(period)) =
+            (self.next_governor_tick, self.cfg.governor.sampling_period())
+        {
             if t <= now {
                 self.retarget_frequency();
-                let period = self
-                    .cfg
-                    .governor
-                    .sampling_period()
-                    .expect("tick implies period");
                 self.next_governor_tick = Some(now + period);
             }
         }
 
-        // (h) Trace sample.
-        if let Some(t) = self.next_sample {
+        // (h) Trace sample (same pending-implies-period structure).
+        if let (Some(t), Some(period)) = (self.next_sample, self.cfg.trace.sample_period) {
             if t <= now {
                 self.record_sample();
-                let period = self.cfg.trace.sample_period.expect("sample implies period");
                 let mut next = t + period;
                 if next <= now {
                     next = now + period;
@@ -765,11 +848,13 @@ impl Soc {
                     .sum()
             })
             .collect();
-        let acts = self.core_activities();
+        let mut acts = std::mem::take(&mut self.acts_scratch);
+        self.core_activities_into(&mut acts);
         let vcc = self.pmu.core_voltage_mv(0, self.now);
         let icc = self
             .current_model
             .icc_a(&acts, vcc, freq, self.thermal.temp_c());
+        self.acts_scratch = acts;
         self.trace.push(Sample {
             time: self.now,
             vcc_mv: vcc,

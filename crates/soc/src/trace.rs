@@ -69,6 +69,12 @@ impl Trace {
         self.samples.is_empty()
     }
 
+    /// Discards all samples, retaining the storage allocation (used
+    /// when a simulator is re-armed for another run).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
     /// Voltage series as `(seconds, mV)` pairs.
     pub fn vcc_series(&self) -> Vec<(f64, f64)> {
         self.samples
@@ -106,7 +112,7 @@ impl Trace {
         self.samples
             .iter()
             .map(|s| s.vcc_mv)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Maximum recorded voltage (mV); `None` if the trace is empty.
@@ -114,7 +120,7 @@ impl Trace {
         self.samples
             .iter()
             .map(|s| s.vcc_mv)
-            .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .max_by(|a, b| a.total_cmp(b))
     }
 
     /// Restricts the trace to `[from, to)`.

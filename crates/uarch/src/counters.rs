@@ -79,22 +79,32 @@ impl PerfCounters {
             cpu_clk_unhalted: self
                 .cpu_clk_unhalted
                 .checked_sub(earlier.cpu_clk_unhalted)
+                // lint:allow(R001): documented panic — snapshot ordering is the
+                // caller's contract, and wrapping would fabricate counts.
                 .expect("counter snapshots out of order"),
             idq_uops_not_delivered: self
                 .idq_uops_not_delivered
                 .checked_sub(earlier.idq_uops_not_delivered)
+                // lint:allow(R001): documented panic — snapshot ordering is the
+                // caller's contract, and wrapping would fabricate counts.
                 .expect("counter snapshots out of order"),
             uops_delivered: self
                 .uops_delivered
                 .checked_sub(earlier.uops_delivered)
+                // lint:allow(R001): documented panic — snapshot ordering is the
+                // caller's contract, and wrapping would fabricate counts.
                 .expect("counter snapshots out of order"),
             inst_retired: self
                 .inst_retired
                 .checked_sub(earlier.inst_retired)
+                // lint:allow(R001): documented panic — snapshot ordering is the
+                // caller's contract, and wrapping would fabricate counts.
                 .expect("counter snapshots out of order"),
             slots_visible: self
                 .slots_visible
                 .checked_sub(earlier.slots_visible)
+                // lint:allow(R001): documented panic — snapshot ordering is the
+                // caller's contract, and wrapping would fabricate counts.
                 .expect("counter snapshots out of order"),
         }
     }

@@ -186,6 +186,8 @@ impl Add for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // lint:allow(R001): deliberate hard stop — saturating here
+                // would silently freeze the event timeline.
                 .expect("SimTime addition overflow"),
         )
     }
@@ -203,6 +205,8 @@ impl Sub for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // lint:allow(R001): deliberate hard stop — a negative
+                // duration means the schedule itself is corrupt.
                 .expect("SimTime subtraction underflow"),
         )
     }
